@@ -1,0 +1,24 @@
+"""Ablation (future work): Approximate Passage Index versus exact PI."""
+
+from repro.bench import ablation_approximate, format_table
+
+from conftest import run_once
+
+EPSILONS = (0.0, 0.25, 0.5)
+
+
+def test_ablation_approximate(benchmark, record_result):
+    rows = run_once(
+        benchmark, ablation_approximate, dataset="oldenburg", epsilons=EPSILONS, num_queries=15
+    )
+    record_result(
+        "ablation_approximate",
+        format_table(rows, "Ablation: APX (bounded deviation) vs exact PI (Oldenburg)"),
+    )
+    exact = rows[0]
+    assert exact["scheme"] == "PI (exact)"
+    for row in rows[1:]:
+        # the deviation bound holds empirically and the index never grows
+        assert row["max_deviation"] <= 1.0 + row["epsilon"] + 1e-3
+        assert row["index_pages"] <= exact["index_pages"]
+        assert row["storage_mb"] <= exact["storage_mb"] + 1e-6

@@ -1,0 +1,19 @@
+"""Ablation (future work): compact region-data codec versus the standard one."""
+
+from repro.bench import ablation_region_compression, format_table
+
+from conftest import run_once
+
+
+def test_ablation_region_compression(benchmark, record_result):
+    rows = run_once(benchmark, ablation_region_compression)
+    record_result(
+        "ablation_region_compression",
+        format_table(rows, "Ablation: compact vs standard region codec (Fd size)"),
+    )
+    assert len(rows) == 3
+    for row in rows:
+        # the structured codec always wins on road-network adjacency data
+        assert row["compact_kb"] < row["standard_kb"]
+        assert 0.0 < row["byte_ratio"] < 1.0
+        assert row["compact_pages"] <= row["standard_pages"]

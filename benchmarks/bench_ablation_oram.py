@@ -1,0 +1,22 @@
+"""Ablation: the real square-root ORAM mechanism behind the PIR black box."""
+
+from repro.bench import ablation_oram_mechanism, format_table
+
+from conftest import run_once
+
+
+def test_ablation_oram_mechanism(benchmark, record_result):
+    rows = run_once(benchmark, ablation_oram_mechanism)
+    record_result(
+        "ablation_oram_mechanism",
+        format_table(rows, "Ablation: square-root ORAM physical cost vs trivial scan"),
+    )
+    for row in rows:
+        # online cost is O(sqrt N) slots per access versus N for the scan
+        assert row["online_per_access"] < row["trivial_scan_per_access"]
+    # the online advantage grows with the database size
+    first, last = rows[0], rows[-1]
+    assert (
+        last["trivial_scan_per_access"] / last["online_per_access"]
+        > first["trivial_scan_per_access"] / first["online_per_access"]
+    )

@@ -1,0 +1,32 @@
+"""Figure 10: the HY scheme on Denmark — |S_ij| distribution and the threshold sweep."""
+
+from repro.bench import fig10_hybrid, format_series, format_table
+
+from conftest import run_once
+
+
+def test_fig10_hybrid(benchmark, record_result):
+    data = run_once(benchmark, fig10_hybrid, num_queries=25)
+    text = format_series(
+        data["histogram"], "|S_ij| bucket", "pairs",
+        title="Figure 10a: distribution of region-set cardinalities (Denmark stand-in)",
+    )
+    text += "\n" + format_table(
+        data["hybrid"], "Figure 10b/c: HY response time and space vs. cardinality threshold"
+    )
+    text += (
+        f"\nCI reference: response = {data['ci_response_s']} s, "
+        f"storage = {data['ci_storage_mb']} MB, max |S_ij| = {data['max_region_set_size']}\n"
+    )
+    record_result("fig10_hybrid", text)
+
+    rows = data["hybrid"]
+    # smaller thresholds replace more pairs, cost more space and respond faster
+    replaced = [row["replaced_pairs"] for row in rows]
+    storage = [row["storage_mb"] for row in rows]
+    responses = [row["response_s"] for row in rows]
+    assert replaced == sorted(replaced, reverse=True)
+    assert storage == sorted(storage, reverse=True)
+    assert responses[0] <= responses[-1]
+    # the most aggressive threshold beats plain CI on response time
+    assert responses[0] < data["ci_response_s"]

@@ -1,0 +1,28 @@
+"""Figure 11: the PI* scheme on Denmark — response time and space vs. cluster pages."""
+
+from repro.bench import fig11_clustered, format_table
+
+from conftest import run_once
+
+
+def test_fig11_clustered(benchmark, record_result):
+    data = run_once(benchmark, fig11_clustered, cluster_sizes=(2, 4, 8, 16), num_queries=25)
+    text = format_table(
+        data["clustered"], "Figure 11: PI* response time and space vs. number of cluster pages"
+    )
+    text += (
+        f"\nCI reference: response = {data['ci_response_s']} s, "
+        f"storage = {data['ci_storage_mb']} MB\n"
+    )
+    record_result("fig11_clustered", text)
+
+    rows = data["clustered"]
+    # larger clusters mean fewer regions and a smaller network index ...
+    regions = [row["regions"] for row in rows]
+    storage = [row["storage_mb"] for row in rows]
+    assert regions == sorted(regions, reverse=True)
+    assert storage == sorted(storage, reverse=True)
+    # ... but a slower response (more region-data pages fetched per query)
+    assert rows[0]["response_s"] <= rows[-1]["response_s"]
+    # the smallest cluster size is much faster than CI
+    assert rows[0]["response_s"] < data["ci_response_s"]

@@ -1,0 +1,20 @@
+"""Figure 12: CI, HY and PI* on the three larger road networks."""
+
+from repro.bench import fig12_larger, format_table
+
+from conftest import run_once
+
+
+def test_fig12_larger(benchmark, record_result):
+    rows = run_once(benchmark, fig12_larger, num_queries=25)
+    record_result(
+        "fig12_larger",
+        format_table(rows, "Figure 12: response time and space on Denmark / India / North America"),
+    )
+    by_key = {(row["dataset"], row["scheme"]): row for row in rows}
+    for dataset in ("Den.", "Ind.", "Nor."):
+        # PI* achieves the fastest query processing in all cases (paper, Section 7.5)
+        assert by_key[(dataset, "PI*")]["response_s"] <= by_key[(dataset, "CI")]["response_s"]
+        # HY trades extra space for a response no worse than CI's
+        assert by_key[(dataset, "HY")]["response_s"] <= by_key[(dataset, "CI")]["response_s"] * 1.15
+        assert by_key[(dataset, "HY")]["storage_mb"] >= by_key[(dataset, "CI")]["storage_mb"]

@@ -1,0 +1,20 @@
+"""Figure 5: LM fine-tuning — response time and space vs. number of landmarks."""
+
+from repro.bench import fig5_lm_tuning, format_table
+
+from conftest import run_once
+
+
+def test_fig5_lm_tuning(benchmark, record_result):
+    rows = run_once(benchmark, fig5_lm_tuning, landmark_counts=(1, 2, 5, 10, 20), num_queries=25)
+    record_result(
+        "fig5_lm_tuning",
+        format_table(rows, "Figure 5: LM response time and space vs. number of landmarks (Argentina)"),
+    )
+    # space grows monotonically with the number of landmarks (Figure 5b)
+    storage = [row["storage_mb"] for row in rows]
+    assert storage == sorted(storage)
+    # too few landmarks hurt response time (Figure 5a): the 1-landmark point is
+    # no better than the best configuration
+    best = min(row["response_s"] for row in rows)
+    assert rows[0]["response_s"] >= best

@@ -1,0 +1,21 @@
+"""Figure 6: the obfuscation baseline (OBF) vs. CI/PI on Argentina."""
+
+from repro.bench import fig6_obfuscation, format_table
+
+from conftest import run_once
+
+
+def test_fig6_obfuscation(benchmark, record_result):
+    data = run_once(benchmark, fig6_obfuscation, set_sizes=(20, 40, 60, 80, 100), num_queries=15)
+    rows = data["obf"]
+    text = format_table(rows, "Figure 6: OBF response time vs. |S| = |T| (Argentina stand-in)")
+    text += (
+        f"\nreference lines:  CI = {data['ci_response_s']} s,  PI = {data['pi_response_s']} s\n"
+    )
+    record_result("fig6_obfuscation", text)
+
+    # OBF response grows with the obfuscation set size
+    responses = [row["response_s"] for row in rows]
+    assert responses == sorted(responses)
+    # for obfuscation sets in the order of tens, OBF is slower than PI
+    assert responses[-1] > data["pi_response_s"]

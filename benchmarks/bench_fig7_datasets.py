@@ -1,0 +1,21 @@
+"""Figure 7: AF, LM, CI and PI across the three smaller road networks."""
+
+from repro.bench import fig7_datasets, format_table
+
+from conftest import run_once
+
+
+def test_fig7_datasets(benchmark, record_result):
+    rows = run_once(benchmark, fig7_datasets, num_queries=25)
+    record_result(
+        "fig7_datasets",
+        format_table(rows, "Figure 7: response time and space on Oldenburg / Germany / Argentina"),
+    )
+    by_key = {(row["dataset"], row["scheme"]): row for row in rows}
+    for dataset in ("Old.", "Ger.", "Arg."):
+        # PI is the fastest scheme on every dataset; CI beats both baselines
+        assert by_key[(dataset, "PI")]["response_s"] <= by_key[(dataset, "CI")]["response_s"]
+        assert by_key[(dataset, "CI")]["response_s"] < by_key[(dataset, "LM")]["response_s"]
+        assert by_key[(dataset, "CI")]["response_s"] < by_key[(dataset, "AF")]["response_s"]
+        # PI pays for its speed with the largest database
+        assert by_key[(dataset, "PI")]["storage_mb"] > by_key[(dataset, "CI")]["storage_mb"]

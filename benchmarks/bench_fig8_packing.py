@@ -1,0 +1,28 @@
+"""Figure 8: effect of packed partitioning on CI and PI."""
+
+from repro.bench import fig8_packing, format_table
+
+from conftest import run_once
+
+
+def test_fig8_packing(benchmark, record_result):
+    rows = run_once(benchmark, fig8_packing, num_queries=25)
+    record_result(
+        "fig8_packing",
+        format_table(rows, "Figure 8: packed (CI/PI) vs. plain (CI-P/PI-P) partitioning"),
+    )
+    by_key = {(row["dataset"], row["scheme"]): row for row in rows}
+    for dataset in ("Old.", "Ger.", "Arg."):
+        # packed partitioning fills Fd pages better than the plain KD-tree
+        assert (
+            by_key[(dataset, "CI")]["fd_utilization_pct"]
+            > by_key[(dataset, "CI-P")]["fd_utilization_pct"]
+        )
+        # better utilization shrinks the database
+        assert by_key[(dataset, "CI")]["storage_mb"] <= by_key[(dataset, "CI-P")]["storage_mb"]
+        assert by_key[(dataset, "PI")]["storage_mb"] <= by_key[(dataset, "PI-P")]["storage_mb"]
+        # and does not hurt CI's response time
+        assert (
+            by_key[(dataset, "CI")]["response_s"]
+            <= by_key[(dataset, "CI-P")]["response_s"] * 1.1
+        )

@@ -1,0 +1,20 @@
+"""Figure 9: effect of in-page index compression on CI and PI."""
+
+from repro.bench import fig9_compression, format_table
+
+from conftest import run_once
+
+
+def test_fig9_compression(benchmark, record_result):
+    rows = run_once(benchmark, fig9_compression, num_queries=25)
+    record_result(
+        "fig9_compression",
+        format_table(rows, "Figure 9: with (CI/PI) vs. without (CI-C/PI-C) index compression"),
+    )
+    by_key = {(row["dataset"], row["scheme"]): row for row in rows}
+    for dataset in ("Old.", "Ger.", "Arg."):
+        # compression shrinks the network index of both schemes
+        assert by_key[(dataset, "CI")]["index_pages"] <= by_key[(dataset, "CI-C")]["index_pages"]
+        assert by_key[(dataset, "PI")]["index_pages"] <= by_key[(dataset, "PI-C")]["index_pages"]
+        # and therefore the total database size
+        assert by_key[(dataset, "PI")]["storage_mb"] <= by_key[(dataset, "PI-C")]["storage_mb"]

@@ -1,0 +1,21 @@
+"""Section 4 claim: full materialisation exceeds the PIR interface limits."""
+
+from repro.bench import format_table, section4_full_materialization
+
+from conftest import run_once
+
+
+def test_section4_full_materialization(benchmark, record_result):
+    rows = run_once(benchmark, section4_full_materialization)
+    record_result(
+        "section4_full_materialization",
+        format_table(rows, "Section 4: space needed to materialise all shortest paths"),
+    )
+    assert len(rows) == 3
+    for row in rows:
+        # at paper scale every network blows through the 2.5 GByte PIR limit
+        assert row["paper_scale_times_over_limit"] > 1.0
+    oldenburg = rows[0]
+    # the paper quotes ~20 GByte for Oldenburg; the extrapolation lands in the
+    # same order of magnitude (a handful to a few tens of GiB)
+    assert 2.0 < oldenburg["paper_scale_gib"] < 200.0

@@ -1,0 +1,14 @@
+"""Table 1: the road networks (paper sizes vs. generated stand-ins)."""
+
+from repro.bench import format_table, table1_datasets
+
+from conftest import run_once
+
+
+def test_table1_datasets(benchmark, record_result):
+    rows = run_once(benchmark, table1_datasets)
+    record_result("table1_datasets", format_table(rows, "Table 1: road networks"))
+    assert len(rows) == 6
+    for row in rows:
+        assert row["generated_nodes"] > 0
+        assert 0.9 < row["edge_factor"] < 1.3

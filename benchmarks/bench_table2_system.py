@@ -1,0 +1,13 @@
+"""Table 2: system specification used by the cost model."""
+
+from repro.bench import format_table, table2_system
+
+from conftest import run_once
+
+
+def test_table2_system(benchmark, record_result):
+    rows = run_once(benchmark, table2_system)
+    record_result("table2_system", format_table(rows, "Table 2: system specification"))
+    parameters = {row["parameter"] for row in rows}
+    assert "SCP encryption/decryption rate" in parameters
+    assert "Max PIR file size" in parameters

@@ -1,0 +1,31 @@
+"""Table 3: response-time components of AF, LM, CI and PI on Argentina."""
+
+from repro.bench import format_table, table3_components
+
+from conftest import run_once
+
+
+def test_table3_components(benchmark, record_result):
+    rows = run_once(benchmark, table3_components, num_queries=25)
+    record_result(
+        "table3_components",
+        format_table(rows, "Table 3: response-time components (Argentina stand-in)"),
+    )
+    by_scheme = {row["scheme"]: row for row in rows}
+
+    # every scheme answers correctly and leaks nothing
+    assert all(row["costs_correct"] for row in rows)
+    assert all(row["indistinguishable"] for row in rows)
+
+    # the paper's ordering: PI fastest, then CI, then the LM/AF baselines
+    assert by_scheme["PI"]["response_s"] < by_scheme["CI"]["response_s"]
+    assert by_scheme["CI"]["response_s"] < by_scheme["LM"]["response_s"]
+    assert by_scheme["CI"]["response_s"] < by_scheme["AF"]["response_s"]
+
+    # PI trades space for speed: its database is by far the largest
+    assert by_scheme["PI"]["storage_mb"] > 10 * by_scheme["CI"]["storage_mb"]
+
+    # the baselines read a large fraction of the region data file per query
+    for baseline in ("AF", "LM"):
+        row = by_scheme[baseline]
+        assert row["data_pages_per_query"] >= 0.4 * row["data_file_pages"]

@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper via the
+experiment functions in :mod:`repro.bench.experiments`, times the regeneration
+once (the experiment functions are deterministic and heavy, so a single
+iteration is the meaningful measurement), and writes the resulting rows —
+the same rows/series the paper reports — to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_result(results_dir):
+    """Write a named, human-readable result file and echo it to stdout."""
+
+    def _record(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text, encoding="utf-8")
+        print(f"\n===== {name} =====\n{text}")
+
+    return _record
+
+
+def run_once(benchmark, function, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, kwargs=kwargs, rounds=1, iterations=1)

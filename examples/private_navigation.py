@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Private navigation session: a commuter asks for routes to sensitive places.
+
+The motivating scenario of the paper: the destinations a user routes to (a
+clinic, a place of worship, a lawyer's office) reveal sensitive personal
+information.  This example simulates a client who issues several such queries
+against an LBS running the Passage Index (PI) scheme, and then shows that the
+LBS's view of the "sensitive" queries is byte-for-byte identical to its view of
+a completely innocuous query — it cannot even tell whether two queries were
+the same.
+
+For contrast, the same queries are answered with the prior-art obfuscation
+approach (OBF), which leaks a candidate set containing the true endpoints.
+
+Run with:  python examples/private_navigation.py
+"""
+
+from repro import ObfuscationScheme, PassageIndexScheme, SystemSpec, random_planar_network
+from repro.privacy import views_identical
+
+
+def main() -> None:
+    network = random_planar_network(num_nodes=450, seed=11)
+    spec = SystemSpec(page_size=512)
+    scheme = PassageIndexScheme.build(network, spec=spec)
+    print(
+        f"LBS hosts a {scheme.storage_mb:.2f} MB PI database "
+        f"({scheme.partitioning.num_regions} regions); every query follows the same "
+        f"{scheme.plan.num_rounds}-round plan with {scheme.plan.total_pir_pages()} PIR retrievals.\n"
+    )
+
+    home = network.nearest_node(10.0, 10.0)
+    clinic = network.nearest_node(85.0, 70.0)
+    lawyer = network.nearest_node(30.0, 90.0)
+    coffee = network.nearest_node(12.0, 14.0)
+
+    labelled_queries = [
+        ("home -> clinic      (sensitive)", home, clinic),
+        ("home -> lawyer      (sensitive)", home, lawyer),
+        ("home -> coffee shop (innocuous)", home, coffee),
+        ("home -> clinic      (repeated) ", home, clinic),
+    ]
+
+    results = []
+    for label, source, target in labelled_queries:
+        result = scheme.query(source, target)
+        results.append(result)
+        print(
+            f"{label}: cost {result.path.cost:7.2f}, {result.path.num_edges:3d} hops, "
+            f"answered in {result.response.total_s:5.1f} s (simulated)"
+        )
+
+    identical = views_identical([result.adversary_view for result in results])
+    print(
+        "\nLBS view of all four queries identical:"
+        f" {identical} — it cannot tell the clinic trip from the coffee run,"
+        " nor detect that one query was repeated.\n"
+    )
+
+    # The obfuscation baseline, by contrast, hands the LBS a candidate set
+    # that contains the true source and destination.
+    obf = ObfuscationScheme(network, spec=spec, set_size=10, seed=3)
+    obf_result = obf.query(home, clinic)
+    print(
+        "OBF baseline on the same clinic query: the LBS receives "
+        f"{obf.set_size} candidate sources and {obf.set_size} candidate destinations "
+        f"(the real ones among them), computes {obf_result.candidate_paths} paths and "
+        f"responds in {obf_result.response.total_s:.1f} s — weaker privacy, "
+        "comparable or worse latency at realistic set sizes."
+    )
+
+
+if __name__ == "__main__":
+    main()

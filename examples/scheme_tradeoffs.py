@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Compare the space/time trade-offs of CI, PI, HY and PI* on one network.
+
+This reproduces, at example scale, the core trade-off of the paper's
+evaluation: PI answers queries with very few PIR retrievals but needs a huge
+network index; CI is tiny but must fetch ``m + 2`` region pages per query;
+HY and PI* sit in between and expose a tuning knob each.
+
+Run with:  python examples/scheme_tradeoffs.py
+"""
+
+from repro import (
+    ClusteredPassageIndexScheme,
+    ConciseIndexScheme,
+    HybridScheme,
+    PassageIndexScheme,
+    SystemSpec,
+    random_planar_network,
+)
+from repro.bench import format_table, generate_workload, run_workload
+from repro.partition import compute_border_nodes, packed_kdtree_partition
+from repro.precompute import compute_border_products
+
+
+def main() -> None:
+    network = random_planar_network(num_nodes=500, seed=7)
+    spec = SystemSpec(page_size=512)
+    workload = generate_workload(network, count=15, seed=1)
+
+    # Shared pre-computation: one partitioning and one border-node pass feed
+    # CI, PI and HY (exactly how the benchmark harness builds them too).
+    partitioning = packed_kdtree_partition(network, spec.page_size - 8)
+    border_index = compute_border_nodes(network, partitioning)
+    products = compute_border_products(
+        network, partitioning, border_index, want_region_sets=True, want_subgraphs=True
+    )
+    shared = dict(partitioning=partitioning, border_index=border_index, products=products)
+
+    threshold = max(2, products.max_region_set_size() // 3)
+    schemes = [
+        ConciseIndexScheme.build(network, spec=spec, **shared),
+        PassageIndexScheme.build(network, spec=spec, **shared),
+        HybridScheme.build(
+            network,
+            spec=spec,
+            region_set_threshold=threshold,
+            passage_subgraphs=products.passage_subgraphs,
+            **shared,
+        ),
+        ClusteredPassageIndexScheme.build(network, spec=spec, cluster_pages=2),
+    ]
+
+    rows = []
+    for scheme in schemes:
+        summary = run_workload(scheme, workload)
+        rows.append(
+            {
+                "scheme": scheme.name,
+                "response_s": round(summary.mean_response_s, 2),
+                "pir_s": round(summary.mean_pir_s, 2),
+                "pages_per_query": round(sum(summary.mean_page_accesses.values()), 1),
+                "storage_mb": round(summary.storage_mb, 3),
+                "correct": summary.all_costs_correct,
+                "indistinguishable": summary.indistinguishable,
+            }
+        )
+
+    print(format_table(rows, "Space/time trade-offs (500-node network, 512-byte pages)"))
+    print(
+        "Reading the table: PI minimises PIR pages per query at the cost of the largest\n"
+        "database; CI is the smallest database but pays m + 2 region-data retrievals per\n"
+        "query; HY (threshold-tunable) and PI* (cluster-size-tunable) interpolate."
+    )
+
+
+if __name__ == "__main__":
+    main()

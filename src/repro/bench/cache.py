@@ -1,0 +1,118 @@
+"""Build cache shared across experiments.
+
+Several experiments need the same expensive artifacts — generated networks,
+partitionings, border-node indexes, border-to-border pre-computations and
+fully built schemes.  This cache memoises them (keyed by dataset, profile and
+build parameters) so that, e.g., Table 3 and Figures 7–9 share one CI build
+per dataset instead of rebuilding it for every benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..costmodel import SystemSpec
+from ..network import RoadNetwork
+from ..partition import (
+    BorderNodeIndex,
+    Partitioning,
+    compute_border_nodes,
+    packed_kdtree_partition,
+    plain_kdtree_partition,
+)
+from ..precompute import BorderProducts, compute_border_products
+from .datasets import load_dataset, system_spec_for
+
+
+class BuildCache:
+    """Memoises datasets, partitionings, pre-computations and scheme builds."""
+
+    def __init__(self, profile: str = "quick") -> None:
+        self.profile = profile
+        self._networks: Dict[str, RoadNetwork] = {}
+        self._partitionings: Dict[Tuple, Partitioning] = {}
+        self._borders: Dict[Tuple, BorderNodeIndex] = {}
+        self._products: Dict[Tuple, BorderProducts] = {}
+        self._schemes: Dict[Tuple, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # primitive artifacts
+    # ------------------------------------------------------------------ #
+    @property
+    def spec(self) -> SystemSpec:
+        return system_spec_for(self.profile)
+
+    def network(self, dataset: str) -> RoadNetwork:
+        if dataset not in self._networks:
+            self._networks[dataset] = load_dataset(dataset, self.profile)
+        return self._networks[dataset]
+
+    def partitioning(
+        self, dataset: str, packed: bool = True, capacity: Optional[int] = None
+    ) -> Partitioning:
+        spec = self.spec
+        capacity = capacity if capacity is not None else spec.page_size - 8
+        key = (dataset, packed, capacity)
+        if key not in self._partitionings:
+            partition_fn = packed_kdtree_partition if packed else plain_kdtree_partition
+            self._partitionings[key] = partition_fn(self.network(dataset), capacity)
+        return self._partitionings[key]
+
+    def border_index(
+        self, dataset: str, packed: bool = True, capacity: Optional[int] = None
+    ) -> BorderNodeIndex:
+        spec = self.spec
+        capacity = capacity if capacity is not None else spec.page_size - 8
+        key = (dataset, packed, capacity)
+        if key not in self._borders:
+            self._borders[key] = compute_border_nodes(
+                self.network(dataset), self.partitioning(dataset, packed, capacity)
+            )
+        return self._borders[key]
+
+    def border_products(
+        self,
+        dataset: str,
+        packed: bool = True,
+        capacity: Optional[int] = None,
+        want_subgraphs: bool = False,
+    ) -> BorderProducts:
+        spec = self.spec
+        capacity = capacity if capacity is not None else spec.page_size - 8
+        key = (dataset, packed, capacity, want_subgraphs)
+        if key not in self._products:
+            self._products[key] = compute_border_products(
+                self.network(dataset),
+                self.partitioning(dataset, packed, capacity),
+                self.border_index(dataset, packed, capacity),
+                want_region_sets=True,
+                want_subgraphs=want_subgraphs,
+            )
+        return self._products[key]
+
+    # ------------------------------------------------------------------ #
+    # scheme builds
+    # ------------------------------------------------------------------ #
+    def scheme(self, key: Tuple, builder) -> object:
+        """Memoise an arbitrary scheme build under ``key``."""
+        if key not in self._schemes:
+            self._schemes[key] = builder()
+        return self._schemes[key]
+
+    def clear(self) -> None:
+        self._networks.clear()
+        self._partitionings.clear()
+        self._borders.clear()
+        self._products.clear()
+        self._schemes.clear()
+
+
+_GLOBAL_CACHE: Optional[BuildCache] = None
+
+
+def get_cache(profile: str = "quick") -> BuildCache:
+    """The process-wide cache (one per profile; switching profiles resets it)."""
+    global _GLOBAL_CACHE
+    if _GLOBAL_CACHE is None or _GLOBAL_CACHE.profile != profile:
+        _GLOBAL_CACHE = BuildCache(profile)
+    return _GLOBAL_CACHE

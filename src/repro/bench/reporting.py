@@ -1,0 +1,46 @@
+"""Plain-text reporting helpers: render experiment results as aligned tables
+matching the rows/series the paper reports."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_table(rows: Sequence[Dict[str, object]], title: str = "") -> str:
+    """Render a list of dictionaries as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)\n" if title else "(no rows)\n"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {column: len(str(column)) for column in columns}
+    for row in rows:
+        for column in columns:
+            widths[column] = max(widths[column], len(_cell(row.get(column))))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[column] for column in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(_cell(row.get(column)).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines) + "\n"
+
+
+def format_series(series: Dict[object, float], x_label: str, y_label: str, title: str = "") -> str:
+    """Render an x→y series (one figure curve) as a two-column table."""
+    rows = [{x_label: x, y_label: y} for x, y in series.items()]
+    return format_table(rows, title=title)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,124 @@
+"""Workload runner: executes a query workload against a scheme and aggregates
+the metrics the paper reports (response-time components, PIR page accesses per
+file, storage space, page utilization)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..costmodel import ResponseTime
+from ..exceptions import SchemeError
+from ..network import NodeId, shortest_path_cost
+from ..schemes import Scheme
+from ..schemes.obfuscation import ObfuscationScheme
+from .workloads import QueryPair
+
+
+@dataclass
+class WorkloadSummary:
+    """Aggregate metrics of one scheme over one workload."""
+
+    scheme_name: str
+    num_queries: int
+    #: Mean response-time decomposition per query (seconds).
+    mean_response_s: float
+    mean_pir_s: float
+    mean_communication_s: float
+    mean_client_s: float
+    mean_server_s: float
+    #: Mean PIR page accesses per file, and the file sizes (in pages).
+    mean_page_accesses: Dict[str, float]
+    file_pages: Dict[str, int]
+    #: Database size in MBytes (header included).
+    storage_mb: float
+    #: Average page utilization of the region data file (None when absent).
+    data_file_utilization: Optional[float]
+    #: Whether every query returned the true shortest-path cost.
+    all_costs_correct: bool
+    #: Whether every query produced the identical adversary view.
+    indistinguishable: bool
+
+    def as_row(self) -> Dict[str, object]:
+        """A flat dictionary convenient for report tables."""
+        row: Dict[str, object] = {
+            "scheme": self.scheme_name,
+            "response_s": round(self.mean_response_s, 2),
+            "pir_s": round(self.mean_pir_s, 2),
+            "communication_s": round(self.mean_communication_s, 2),
+            "client_s": round(self.mean_client_s, 4),
+            "storage_mb": round(self.storage_mb, 3),
+        }
+        for file_name, accesses in sorted(self.mean_page_accesses.items()):
+            row[f"pages_{file_name}"] = round(accesses, 1)
+            row[f"file_pages_{file_name}"] = self.file_pages.get(file_name, 0)
+        return row
+
+
+def run_workload(
+    scheme: Scheme,
+    pairs: Sequence[QueryPair],
+    verify_costs: bool = True,
+    cost_tolerance: float = 1e-4,
+) -> WorkloadSummary:
+    """Execute every query of the workload and aggregate the paper's metrics."""
+    if not pairs:
+        raise SchemeError("cannot run an empty workload")
+
+    responses: List[ResponseTime] = []
+    per_file_accesses: Dict[str, float] = {}
+    views = set()
+    costs_correct = True
+
+    for source, target in pairs:
+        result = scheme.query(source, target)
+        responses.append(result.response)
+        for file_name, count in result.pages_per_file.items():
+            per_file_accesses[file_name] = per_file_accesses.get(file_name, 0.0) + count
+        views.add(result.adversary_view)
+        if verify_costs:
+            truth = shortest_path_cost(scheme.network, source, target)
+            if not math.isclose(result.path.cost, truth, rel_tol=cost_tolerance, abs_tol=1e-6):
+                costs_correct = False
+
+    count = len(pairs)
+    mean_accesses = {name: total / count for name, total in per_file_accesses.items()}
+    file_pages = {name: scheme.database.file(name).num_pages for name in scheme.database.file_names()}
+
+    data_utilization: Optional[float] = None
+    if scheme.database.has_file("data"):
+        data_utilization = scheme.database.file("data").utilization
+
+    return WorkloadSummary(
+        scheme_name=scheme.name,
+        num_queries=count,
+        mean_response_s=sum(r.total_s for r in responses) / count,
+        mean_pir_s=sum(r.pir_s for r in responses) / count,
+        mean_communication_s=sum(r.communication_s for r in responses) / count,
+        mean_client_s=sum(r.client_s for r in responses) / count,
+        mean_server_s=sum(r.server_s for r in responses) / count,
+        mean_page_accesses=mean_accesses,
+        file_pages=file_pages,
+        storage_mb=scheme.storage_mb,
+        data_file_utilization=data_utilization,
+        all_costs_correct=costs_correct,
+        indistinguishable=len(views) <= 1,
+    )
+
+
+def run_obfuscation_workload(
+    scheme: ObfuscationScheme, pairs: Sequence[QueryPair]
+) -> Dict[str, float]:
+    """Run the OBF baseline over a workload; returns mean response components."""
+    if not pairs:
+        raise SchemeError("cannot run an empty workload")
+    responses = [scheme.query(source, target).response for source, target in pairs]
+    count = len(pairs)
+    return {
+        "scheme": "OBF",
+        "set_size": scheme.set_size,
+        "response_s": sum(r.total_s for r in responses) / count,
+        "server_s": sum(r.server_s for r in responses) / count,
+        "communication_s": sum(r.communication_s for r in responses) / count,
+    }

@@ -1,0 +1,65 @@
+"""Query workload generation.
+
+The paper measures average response time over workloads of 1,000 shortest
+path queries with sources and destinations drawn from the network.  The
+``quick`` benchmark profile uses smaller (seeded, reproducible) workloads; the
+count is a parameter everywhere.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..network import NodeId, RoadNetwork
+
+QueryPair = Tuple[NodeId, NodeId]
+
+#: Workload size used by the quick benchmark profile (the paper uses 1,000).
+DEFAULT_WORKLOAD_SIZE = 40
+
+
+def generate_workload(
+    network: RoadNetwork,
+    count: int = DEFAULT_WORKLOAD_SIZE,
+    seed: int = 42,
+    distinct_endpoints: bool = True,
+) -> List[QueryPair]:
+    """Draw ``count`` (source, destination) pairs uniformly from the network."""
+    rng = random.Random(seed)
+    node_ids = list(network.node_ids())
+    pairs: List[QueryPair] = []
+    while len(pairs) < count:
+        source = rng.choice(node_ids)
+        target = rng.choice(node_ids)
+        if distinct_endpoints and source == target:
+            continue
+        pairs.append((source, target))
+    return pairs
+
+
+def generate_long_distance_workload(
+    network: RoadNetwork,
+    count: int = DEFAULT_WORKLOAD_SIZE,
+    seed: int = 42,
+    quantile: float = 0.75,
+) -> List[QueryPair]:
+    """Pairs whose Euclidean separation is above the given quantile.
+
+    Useful for stressing the worst-case behaviour of the baselines (long
+    queries read most of the database).
+    """
+    rng = random.Random(seed)
+    node_ids = list(network.node_ids())
+    candidates = []
+    for _ in range(count * 8):
+        source = rng.choice(node_ids)
+        target = rng.choice(node_ids)
+        if source == target:
+            continue
+        candidates.append((network.euclidean_distance(source, target), source, target))
+    candidates.sort()
+    threshold_index = int(len(candidates) * quantile)
+    selected = candidates[threshold_index:]
+    rng.shuffle(selected)
+    return [(source, target) for _, source, target in selected[:count]]

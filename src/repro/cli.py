@@ -1,0 +1,248 @@
+"""Command-line interface for the reproduction.
+
+A small front end over the public API so the system can be exercised without
+writing Python:
+
+* ``repro-spc datasets`` — list the Table 1 dataset registry and its
+  quick-profile stand-ins;
+* ``repro-spc generate`` — write a seeded synthetic road network to a text
+  file;
+* ``repro-spc build`` — build one of the schemes on a dataset or network file,
+  print its size/plan statistics, and optionally persist the LBS database to
+  a directory;
+* ``repro-spc query`` — build a scheme and answer one private shortest-path
+  query, printing the path, the response-time decomposition and what the LBS
+  observed;
+* ``repro-spc experiment`` — run one of the paper's table/figure experiments
+  (or an extension ablation) and print the same rows the benchmark suite
+  records.
+
+The module exposes :func:`main` taking an ``argv`` list so tests can drive it
+without spawning processes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from . import __version__
+from .bench import (
+    DATASETS,
+    ablation_approximate,
+    ablation_oram_mechanism,
+    ablation_region_compression,
+    fig5_lm_tuning,
+    fig6_obfuscation,
+    fig7_datasets,
+    fig8_packing,
+    fig9_compression,
+    fig10_hybrid,
+    fig11_clustered,
+    fig12_larger,
+    format_table,
+    generate_workload,
+    load_dataset,
+    section4_full_materialization,
+    system_spec_for,
+    table1_datasets,
+    table2_system,
+    table3_components,
+)
+from .costmodel import SystemSpec
+from .network import random_planar_network, read_network, write_network
+from .privacy import adversary_transcript
+from .schemes import (
+    ApproximatePassageIndexScheme,
+    ClusteredPassageIndexScheme,
+    ConciseIndexScheme,
+    PassageIndexScheme,
+)
+from .storage import save_database
+
+#: Scheme name → builder accepting ``(network, spec, **cli_options)``.
+_SCHEME_BUILDERS: Dict[str, Callable] = {
+    "CI": lambda network, spec, **options: ConciseIndexScheme.build(network, spec=spec),
+    "PI": lambda network, spec, **options: PassageIndexScheme.build(network, spec=spec),
+    "PI*": lambda network, spec, **options: ClusteredPassageIndexScheme.build(
+        network, spec=spec, cluster_pages=options.get("cluster_pages", 2)
+    ),
+    "APX": lambda network, spec, **options: ApproximatePassageIndexScheme.build(
+        network, spec=spec, epsilon=options.get("epsilon", 0.1)
+    ),
+}
+
+#: Experiment name → zero-argument callable returning report rows.
+_EXPERIMENTS: Dict[str, Callable[[], List[dict]]] = {
+    "table1": table1_datasets,
+    "table2": table2_system,
+    "table3": table3_components,
+    "fig5": fig5_lm_tuning,
+    "fig6": fig6_obfuscation,
+    "fig7": fig7_datasets,
+    "fig8": fig8_packing,
+    "fig9": fig9_compression,
+    "fig10": fig10_hybrid,
+    "fig11": fig11_clustered,
+    "fig12": fig12_larger,
+    "section4": section4_full_materialization,
+    "ablation-approximate": ablation_approximate,
+    "ablation-compression": ablation_region_compression,
+    "ablation-oram": ablation_oram_mechanism,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-spc",
+        description="Private shortest-path computation (VLDB 2012 reproduction).",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("datasets", help="list the Table 1 dataset registry")
+
+    generate = commands.add_parser("generate", help="write a synthetic road network")
+    generate.add_argument("--nodes", type=int, default=600, help="number of nodes")
+    generate.add_argument("--seed", type=int, default=1, help="random seed")
+    generate.add_argument("--output", required=True, help="output network file")
+
+    build = commands.add_parser("build", help="build a scheme and report its statistics")
+    _add_scheme_arguments(build)
+    build.add_argument("--save", help="directory to persist the LBS database into")
+
+    query = commands.add_parser("query", help="answer one private shortest-path query")
+    _add_scheme_arguments(query)
+    query.add_argument("--source", type=int, help="source node id (default: random)")
+    query.add_argument("--target", type=int, help="target node id (default: random)")
+    query.add_argument("--show-view", action="store_true", help="print the adversary view")
+
+    experiment = commands.add_parser("experiment", help="run one table/figure experiment")
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS), help="experiment to run")
+
+    return parser
+
+
+def _add_scheme_arguments(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", choices=sorted(DATASETS), help="Table 1 stand-in dataset")
+    source.add_argument("--network", help="road-network text file (see `generate`)")
+    parser.add_argument(
+        "--scheme", choices=sorted(_SCHEME_BUILDERS), default="CI", help="scheme to build"
+    )
+    parser.add_argument("--page-size", type=int, default=None, help="page size in bytes")
+    parser.add_argument("--epsilon", type=float, default=0.1, help="APX deviation budget")
+    parser.add_argument("--cluster-pages", type=int, default=2, help="PI* pages per region")
+
+
+def _load_network_and_spec(args: argparse.Namespace):
+    if args.dataset:
+        network = load_dataset(args.dataset)
+        spec = system_spec_for("quick")
+    else:
+        network = read_network(args.network)
+        spec = SystemSpec(page_size=512)
+    if args.page_size:
+        spec = spec.with_overrides(page_size=args.page_size)
+    return network, spec
+
+
+def _build_scheme(args: argparse.Namespace):
+    network, spec = _load_network_and_spec(args)
+    builder = _SCHEME_BUILDERS[args.scheme]
+    scheme = builder(
+        network, spec=spec, epsilon=args.epsilon, cluster_pages=args.cluster_pages
+    )
+    return scheme
+
+
+def _command_datasets(args: argparse.Namespace) -> int:
+    rows = [
+        {
+            "name": spec.name,
+            "label": spec.label,
+            "paper_nodes": spec.paper_nodes,
+            "paper_edges": spec.paper_edges,
+            "quick_nodes": spec.quick_nodes,
+        }
+        for spec in DATASETS.values()
+    ]
+    print(format_table(rows, "Table 1 dataset registry"))
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    network = random_planar_network(args.nodes, seed=args.seed)
+    write_network(network, args.output)
+    print(
+        f"wrote {network.num_nodes} nodes / {network.num_edges} directed edges "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def _command_build(args: argparse.Namespace) -> int:
+    scheme = _build_scheme(args)
+    print(f"scheme        : {scheme.name}")
+    print(f"regions       : {scheme.partitioning.num_regions}")
+    print(f"database      : {scheme.storage_mb:.3f} MB")
+    print(f"query plan    : {scheme.plan.num_rounds} rounds, "
+          f"{scheme.plan.total_pir_pages()} PIR pages per query")
+    for name in sorted(scheme.database.file_names()):
+        page_file = scheme.database.file(name)
+        print(f"  file {name:<8}: {page_file.num_pages} pages "
+              f"({page_file.utilization * 100:.1f}% utilised)")
+    if args.save:
+        manifest = save_database(scheme.database, args.save)
+        print(f"database saved: {manifest}")
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    scheme = _build_scheme(args)
+    if args.source is None or args.target is None:
+        source, target = generate_workload(scheme.network, count=1, seed=11)[0]
+    else:
+        source, target = args.source, args.target
+    result = scheme.query(source, target)
+    print(f"query         : {source} -> {target}  ({scheme.name})")
+    print(f"path cost     : {result.path.cost:.3f}  ({result.path.num_edges} edges)")
+    print(f"path nodes    : {' '.join(str(node) for node in result.path.nodes[:12])}"
+          f"{' ...' if len(result.path.nodes) > 12 else ''}")
+    response = result.response
+    print(f"response time : {response.total_s:.2f} s  "
+          f"(PIR {response.pir_s:.2f} s, link {response.communication_s:.2f} s, "
+          f"client {response.client_s:.4f} s)")
+    print(f"PIR accesses  : {result.pages_per_file}")
+    if args.show_view:
+        for round_number, kind, file_name in adversary_transcript(result.adversary_view):
+            label = file_name if file_name else "(header)"
+            print(f"  round {round_number}: {kind:<6} {label}")
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    rows = _EXPERIMENTS[args.name]()
+    print(format_table(rows, f"experiment: {args.name}"))
+    return 0
+
+
+_COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
+    "datasets": _command_datasets,
+    "generate": _command_generate,
+    "build": _command_build,
+    "query": _command_query,
+    "experiment": _command_experiment,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graphs or invalid node/edge references."""
+
+
+class NoPathError(GraphError):
+    """Raised when no path exists between the requested source and target."""
+
+    def __init__(self, source, target):
+        super().__init__(f"no path from node {source!r} to node {target!r}")
+        self.source = source
+        self.target = target
+
+
+class StorageError(ReproError):
+    """Raised for page/record encoding problems or file-format violations."""
+
+
+class PageOverflowError(StorageError):
+    """Raised when a record does not fit into a single disk page."""
+
+
+class PirError(ReproError):
+    """Raised for PIR protocol failures."""
+
+
+class FileSizeLimitError(PirError):
+    """Raised when a file exceeds the maximum size supported by the PIR interface."""
+
+    def __init__(self, file_name: str, size_bytes: int, limit_bytes: int):
+        super().__init__(
+            f"file {file_name!r} is {size_bytes} bytes which exceeds the "
+            f"PIR interface limit of {limit_bytes} bytes"
+        )
+        self.file_name = file_name
+        self.size_bytes = size_bytes
+        self.limit_bytes = limit_bytes
+
+
+class PartitionError(ReproError):
+    """Raised when network partitioning cannot satisfy its constraints."""
+
+
+class SchemeError(ReproError):
+    """Raised for scheme construction or query-processing failures."""
+
+
+class PlanViolationError(SchemeError):
+    """Raised when query processing would deviate from the fixed query plan.
+
+    A plan violation is a privacy bug: it would let the adversary distinguish
+    queries by their access pattern, so it is always an error rather than a
+    silent fallback.
+    """

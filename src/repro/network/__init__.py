@@ -1,0 +1,45 @@
+"""Road-network substrate: graphs, search algorithms, generators and I/O."""
+
+from .astar import astar_search, euclidean_heuristic, zero_heuristic
+from .dijkstra import (
+    ShortestPathTree,
+    all_pairs_sample_costs,
+    bidirectional_dijkstra,
+    dijkstra_tree,
+    shortest_path,
+    shortest_path_cost,
+)
+from .generators import grid_network, random_planar_network
+from .graph import Edge, Node, NodeId, RoadNetwork
+from .io import (
+    network_from_string,
+    network_to_string,
+    read_network,
+    write_network,
+)
+from .paths import Path, SearchStats, validate_path
+
+__all__ = [
+    "Edge",
+    "Node",
+    "NodeId",
+    "Path",
+    "RoadNetwork",
+    "SearchStats",
+    "ShortestPathTree",
+    "all_pairs_sample_costs",
+    "astar_search",
+    "bidirectional_dijkstra",
+    "dijkstra_tree",
+    "euclidean_heuristic",
+    "grid_network",
+    "network_from_string",
+    "network_to_string",
+    "random_planar_network",
+    "read_network",
+    "shortest_path",
+    "shortest_path_cost",
+    "validate_path",
+    "write_network",
+    "zero_heuristic",
+]

@@ -1,0 +1,219 @@
+"""Dijkstra's algorithm and single-source shortest-path trees.
+
+These are the plain, unsecured search primitives (reference [7] in the paper).
+They are used (i) by the querying client on the retrieved subgraph, (ii) by the
+pre-computation that builds ``S_ij`` region sets and ``G_ij`` passage
+subgraphs, and (iii) by the OBF baseline server.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..exceptions import NoPathError
+from .graph import NodeId, RoadNetwork
+from .paths import Path, SearchStats
+
+
+@dataclass
+class ShortestPathTree:
+    """Result of a single-source Dijkstra run.
+
+    ``distances`` maps every reached node to its shortest-path cost from the
+    source; ``parents`` maps every reached node (except the source) to its
+    predecessor on a shortest path.
+    """
+
+    source: NodeId
+    distances: Dict[NodeId, float]
+    parents: Dict[NodeId, Optional[NodeId]]
+
+    def distance_to(self, target: NodeId) -> float:
+        try:
+            return self.distances[target]
+        except KeyError:
+            raise NoPathError(self.source, target) from None
+
+    def has_path_to(self, target: NodeId) -> bool:
+        return target in self.distances
+
+    def path_to(self, target: NodeId) -> Path:
+        """Reconstruct the shortest path from the source to ``target``."""
+        if target not in self.distances:
+            raise NoPathError(self.source, target)
+        nodes: List[NodeId] = [target]
+        current = target
+        while current != self.source:
+            current = self.parents[current]
+            nodes.append(current)
+        nodes.reverse()
+        return Path(tuple(nodes), self.distances[target])
+
+
+def dijkstra_tree(
+    network: RoadNetwork,
+    source: NodeId,
+    targets: Optional[Iterable[NodeId]] = None,
+    stats: Optional[SearchStats] = None,
+) -> ShortestPathTree:
+    """Run Dijkstra from ``source``.
+
+    When ``targets`` is given, the search stops as soon as all targets are
+    settled (useful during pre-computation when only border nodes matter).
+    """
+    network.node(source)  # validates the source exists
+    remaining = set(targets) if targets is not None else None
+    distances: Dict[NodeId, float] = {source: 0.0}
+    parents: Dict[NodeId, Optional[NodeId]] = {source: None}
+    settled: set = set()
+    heap: List[Tuple[float, NodeId]] = [(0.0, source)]
+
+    while heap:
+        dist, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled.add(node)
+        if stats is not None:
+            stats.settled_nodes += 1
+            stats.visited_nodes.append(node)
+        if remaining is not None:
+            remaining.discard(node)
+            if not remaining:
+                break
+        for neighbor, weight in network.neighbors(node):
+            if neighbor in settled:
+                continue
+            candidate = dist + weight
+            if candidate < distances.get(neighbor, math.inf):
+                distances[neighbor] = candidate
+                parents[neighbor] = node
+                heapq.heappush(heap, (candidate, neighbor))
+                if stats is not None:
+                    stats.relaxed_edges += 1
+
+    return ShortestPathTree(source, distances, parents)
+
+
+def shortest_path(
+    network: RoadNetwork,
+    source: NodeId,
+    target: NodeId,
+    stats: Optional[SearchStats] = None,
+) -> Path:
+    """Point-to-point shortest path via Dijkstra (early termination at target)."""
+    if source == target:
+        network.node(source)
+        return Path((source,), 0.0)
+    tree = dijkstra_tree(network, source, targets=[target], stats=stats)
+    if not tree.has_path_to(target):
+        raise NoPathError(source, target)
+    return tree.path_to(target)
+
+
+def shortest_path_cost(network: RoadNetwork, source: NodeId, target: NodeId) -> float:
+    """Cost of the shortest path from ``source`` to ``target``."""
+    return shortest_path(network, source, target).cost
+
+
+def bidirectional_dijkstra(
+    network: RoadNetwork,
+    source: NodeId,
+    target: NodeId,
+    stats: Optional[SearchStats] = None,
+) -> Path:
+    """Bidirectional Dijkstra; returns the same path cost as :func:`shortest_path`.
+
+    Provided as an additional substrate primitive; note that road-network
+    schemes in the paper expand from both endpoints implicitly by fetching the
+    source and destination regions first.
+    """
+    if source == target:
+        network.node(source)
+        return Path((source,), 0.0)
+    network.node(source)
+    network.node(target)
+
+    forward_dist: Dict[NodeId, float] = {source: 0.0}
+    backward_dist: Dict[NodeId, float] = {target: 0.0}
+    forward_parent: Dict[NodeId, Optional[NodeId]] = {source: None}
+    backward_parent: Dict[NodeId, Optional[NodeId]] = {target: None}
+    forward_settled: set = set()
+    backward_settled: set = set()
+    forward_heap: List[Tuple[float, NodeId]] = [(0.0, source)]
+    backward_heap: List[Tuple[float, NodeId]] = [(0.0, target)]
+    reverse = network.reversed()
+
+    best_cost = math.inf
+    meeting_node: Optional[NodeId] = None
+
+    def relax(heap, dist_map, parent_map, settled, graph, other_dist):
+        nonlocal best_cost, meeting_node
+        dist, node = heapq.heappop(heap)
+        if node in settled:
+            return
+        settled.add(node)
+        if stats is not None:
+            stats.settled_nodes += 1
+        for neighbor, weight in graph.neighbors(node):
+            candidate = dist + weight
+            if candidate < dist_map.get(neighbor, math.inf):
+                dist_map[neighbor] = candidate
+                parent_map[neighbor] = node
+                heapq.heappush(heap, (candidate, neighbor))
+            if neighbor in other_dist:
+                total = candidate + other_dist[neighbor]
+                if total < best_cost:
+                    best_cost = total
+                    meeting_node = neighbor
+
+    while forward_heap and backward_heap:
+        if forward_heap[0][0] + backward_heap[0][0] >= best_cost:
+            break
+        if forward_heap[0][0] <= backward_heap[0][0]:
+            relax(forward_heap, forward_dist, forward_parent, forward_settled,
+                  network, backward_dist)
+        else:
+            relax(backward_heap, backward_dist, backward_parent, backward_settled,
+                  reverse, forward_dist)
+
+    if meeting_node is None:
+        raise NoPathError(source, target)
+
+    # stitch the two half-paths together at the meeting node
+    forward_nodes: List[NodeId] = [meeting_node]
+    current = meeting_node
+    while forward_parent.get(current) is not None:
+        current = forward_parent[current]
+        forward_nodes.append(current)
+    forward_nodes.reverse()
+
+    current = meeting_node
+    backward_nodes: List[NodeId] = []
+    while backward_parent.get(current) is not None:
+        current = backward_parent[current]
+        backward_nodes.append(current)
+
+    nodes = forward_nodes + backward_nodes
+    return Path(tuple(nodes), best_cost)
+
+
+def all_pairs_sample_costs(
+    network: RoadNetwork, pairs: Iterable[Tuple[NodeId, NodeId]]
+) -> Dict[Tuple[NodeId, NodeId], float]:
+    """Shortest-path costs for a collection of (source, target) pairs.
+
+    Sources are grouped so that each distinct source triggers a single
+    Dijkstra run.
+    """
+    by_source: Dict[NodeId, List[NodeId]] = {}
+    for source, target in pairs:
+        by_source.setdefault(source, []).append(target)
+    costs: Dict[Tuple[NodeId, NodeId], float] = {}
+    for source, targets in by_source.items():
+        tree = dijkstra_tree(network, source, targets=targets)
+        for target in targets:
+            costs[(source, target)] = tree.distance_to(target)
+    return costs

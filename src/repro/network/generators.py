@@ -1,0 +1,193 @@
+"""Synthetic road-network generators.
+
+The paper evaluates on six real road networks (Table 1) obtained from the
+Brinkhoff generator and the Digital Chart of the World.  Those datasets are
+not redistributable here, so this module produces synthetic stand-ins with the
+same structural characteristics that the schemes depend on:
+
+* planar-like topology with strong spatial locality,
+* sparsity ``|E| ≈ 1.0–1.2 · |V|`` (directed-edge counts as in Table 1),
+* Euclidean node coordinates consistent with edge weights (edge weight is the
+  Euclidean length scaled by a detour factor ``≥ 1``), so Euclidean/landmark
+  heuristics remain admissible.
+
+Two generator families are provided: a perturbed grid (simple, fully
+deterministic shape) and a Delaunay-based random planar network (the default
+for the dataset registry in :mod:`repro.bench.datasets`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import GraphError
+from .graph import RoadNetwork
+
+
+class _UnionFind:
+    """Minimal union-find used to build spanning trees."""
+
+    def __init__(self, size: int) -> None:
+        self._parent = list(range(size))
+
+    def find(self, item: int) -> int:
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return False
+        self._parent[root_b] = root_a
+        return True
+
+
+def grid_network(
+    rows: int,
+    cols: int,
+    spacing: float = 1.0,
+    jitter: float = 0.2,
+    drop_fraction: float = 0.0,
+    seed: int = 0,
+) -> RoadNetwork:
+    """A rows x cols grid with jittered coordinates and optional edge drops.
+
+    The network stays connected: candidate drops that would disconnect it are
+    skipped.  Weights are the Euclidean edge lengths.
+    """
+    if rows < 1 or cols < 1:
+        raise GraphError("grid dimensions must be positive")
+    rng = np.random.default_rng(seed)
+    network = RoadNetwork()
+    for row in range(rows):
+        for col in range(cols):
+            node_id = row * cols + col
+            x = col * spacing + rng.uniform(-jitter, jitter) * spacing
+            y = row * spacing + rng.uniform(-jitter, jitter) * spacing
+            network.add_node(node_id, x, y)
+
+    undirected: List[Tuple[int, int]] = []
+    for row in range(rows):
+        for col in range(cols):
+            node_id = row * cols + col
+            if col + 1 < cols:
+                undirected.append((node_id, node_id + 1))
+            if row + 1 < rows:
+                undirected.append((node_id, node_id + cols))
+
+    keep = _drop_edges_keeping_connectivity(undirected, rows * cols, drop_fraction, rng)
+    for a, b in keep:
+        weight = network.euclidean_distance(a, b)
+        network.add_undirected_edge(a, b, max(weight, 1e-9))
+    return network
+
+
+def random_planar_network(
+    num_nodes: int,
+    edge_factor: float = 1.15,
+    extent: float = 100.0,
+    detour_max: float = 1.3,
+    seed: int = 0,
+) -> RoadNetwork:
+    """A random planar-like road network.
+
+    Nodes are uniform random points in ``[0, extent]²``.  Candidate edges come
+    from the Delaunay triangulation of the points (guaranteeing planarity and
+    locality); a random spanning tree subset ensures connectivity, and the
+    shortest remaining candidates are added until the number of *undirected*
+    edges reaches ``edge_factor · num_nodes`` (matching the sparsity of the
+    paper's datasets).  Each undirected edge is stored as two directed edges.
+
+    Edge weights are the Euclidean length multiplied by a per-edge detour
+    factor drawn uniformly from ``[1, detour_max]``.
+    """
+    if num_nodes < 3:
+        raise GraphError("random planar network needs at least 3 nodes")
+    if edge_factor < 1.0:
+        raise GraphError("edge_factor below 1.0 cannot keep the network connected")
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0.0, extent, size=(num_nodes, 2))
+
+    candidates = _delaunay_edges(points)
+    lengths = {
+        (a, b): math.hypot(points[a, 0] - points[b, 0], points[a, 1] - points[b, 1])
+        for a, b in candidates
+    }
+
+    # spanning tree over the candidate edges (random order ⇒ random tree)
+    order = list(candidates)
+    rng.shuffle(order)
+    union_find = _UnionFind(num_nodes)
+    chosen: List[Tuple[int, int]] = []
+    for a, b in order:
+        if union_find.union(a, b):
+            chosen.append((a, b))
+    if len(chosen) != num_nodes - 1:
+        raise GraphError("Delaunay candidate edges did not span all nodes")
+
+    target_edges = int(round(edge_factor * num_nodes))
+    chosen_set = set(chosen)
+    extras = sorted(
+        (edge for edge in candidates if edge not in chosen_set),
+        key=lambda edge: lengths[edge],
+    )
+    for edge in extras:
+        if len(chosen) >= target_edges:
+            break
+        chosen.append(edge)
+
+    network = RoadNetwork()
+    for node_id in range(num_nodes):
+        network.add_node(node_id, float(points[node_id, 0]), float(points[node_id, 1]))
+    for a, b in chosen:
+        detour = rng.uniform(1.0, detour_max)
+        weight = max(lengths[(a, b)] * detour, 1e-9)
+        network.add_undirected_edge(a, b, weight)
+    return network
+
+
+def _delaunay_edges(points: np.ndarray) -> List[Tuple[int, int]]:
+    """Undirected edge list of the Delaunay triangulation of ``points``."""
+    from scipy.spatial import Delaunay  # imported lazily; scipy is a hard dependency
+
+    triangulation = Delaunay(points)
+    edges = set()
+    for simplex in triangulation.simplices:
+        a, b, c = int(simplex[0]), int(simplex[1]), int(simplex[2])
+        for u, v in ((a, b), (b, c), (a, c)):
+            edges.add((min(u, v), max(u, v)))
+    return sorted(edges)
+
+
+def _drop_edges_keeping_connectivity(
+    undirected: Sequence[Tuple[int, int]],
+    num_nodes: int,
+    drop_fraction: float,
+    rng: np.random.Generator,
+) -> List[Tuple[int, int]]:
+    """Remove up to ``drop_fraction`` of the edges without disconnecting the graph."""
+    if drop_fraction <= 0:
+        return list(undirected)
+    if drop_fraction >= 1:
+        raise GraphError("cannot drop all edges")
+    edges = list(undirected)
+    rng.shuffle(edges)
+    to_drop = int(len(edges) * drop_fraction)
+
+    # Keep a spanning structure: greedily mark edges as required via union-find,
+    # then drop only from the non-required ones.
+    union_find = _UnionFind(num_nodes)
+    required = set()
+    for edge in edges:
+        if union_find.union(edge[0], edge[1]):
+            required.add(edge)
+    droppable = [edge for edge in edges if edge not in required]
+    dropped = set(droppable[:to_drop])
+    return [edge for edge in edges if edge not in dropped]

@@ -1,0 +1,84 @@
+"""Plain-text serialization of road networks.
+
+The format follows the widely used node/edge file convention of the
+Brinkhoff generator datasets:
+
+* node lines:  ``v <node_id> <x> <y>``
+* edge lines:  ``e <source> <target> <weight>``
+
+Lines starting with ``#`` are comments.  Both functions work with paths or
+open file objects.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path as FilePath
+from typing import TextIO, Union
+
+from ..exceptions import GraphError
+from .graph import RoadNetwork
+
+PathLike = Union[str, FilePath]
+
+
+def write_network(network: RoadNetwork, destination: Union[PathLike, TextIO]) -> None:
+    """Write ``network`` to ``destination`` in the node/edge text format."""
+    if hasattr(destination, "write"):
+        _write_stream(network, destination)  # type: ignore[arg-type]
+        return
+    with open(destination, "w", encoding="utf-8") as stream:
+        _write_stream(network, stream)
+
+
+def read_network(source: Union[PathLike, TextIO]) -> RoadNetwork:
+    """Read a network previously written by :func:`write_network`."""
+    if hasattr(source, "read"):
+        return _read_stream(source)  # type: ignore[arg-type]
+    with open(source, "r", encoding="utf-8") as stream:
+        return _read_stream(stream)
+
+
+def network_to_string(network: RoadNetwork) -> str:
+    """Serialize a network to a string (round-trips with :func:`network_from_string`)."""
+    buffer = io.StringIO()
+    _write_stream(network, buffer)
+    return buffer.getvalue()
+
+
+def network_from_string(text: str) -> RoadNetwork:
+    """Parse a network from the string produced by :func:`network_to_string`."""
+    return _read_stream(io.StringIO(text))
+
+
+def _write_stream(network: RoadNetwork, stream: TextIO) -> None:
+    stream.write(f"# road network: {network.num_nodes} nodes, {network.num_edges} edges\n")
+    for node in sorted(network.nodes(), key=lambda n: n.node_id):
+        stream.write(f"v {node.node_id} {node.x!r} {node.y!r}\n")
+    for node in sorted(network.nodes(), key=lambda n: n.node_id):
+        for neighbor, weight in network.neighbors(node.node_id):
+            stream.write(f"e {node.node_id} {neighbor} {weight!r}\n")
+
+
+def _read_stream(stream: TextIO) -> RoadNetwork:
+    network = RoadNetwork()
+    pending_edges = []
+    for line_number, raw_line in enumerate(stream, start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        kind = parts[0]
+        if kind == "v":
+            if len(parts) != 4:
+                raise GraphError(f"line {line_number}: malformed node line {line!r}")
+            network.add_node(int(parts[1]), float(parts[2]), float(parts[3]))
+        elif kind == "e":
+            if len(parts) != 4:
+                raise GraphError(f"line {line_number}: malformed edge line {line!r}")
+            pending_edges.append((int(parts[1]), int(parts[2]), float(parts[3])))
+        else:
+            raise GraphError(f"line {line_number}: unknown record type {kind!r}")
+    for source, target, weight in pending_edges:
+        network.add_edge(source, target, weight)
+    return network

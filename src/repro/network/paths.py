@@ -1,0 +1,71 @@
+"""Path objects returned by shortest-path computations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from ..exceptions import GraphError
+from .graph import NodeId, RoadNetwork
+
+
+@dataclass(frozen=True)
+class Path:
+    """A path through the road network.
+
+    ``nodes`` is the node sequence (source first, destination last) and
+    ``cost`` the summed edge weight along it.  A single-node path has zero
+    cost.
+    """
+
+    nodes: Tuple[NodeId, ...]
+    cost: float
+
+    @property
+    def source(self) -> NodeId:
+        return self.nodes[0]
+
+    @property
+    def target(self) -> NodeId:
+        return self.nodes[-1]
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.nodes) - 1
+
+    def edges(self) -> List[Tuple[NodeId, NodeId]]:
+        """The (source, target) pairs along the path."""
+        return list(zip(self.nodes[:-1], self.nodes[1:]))
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @staticmethod
+    def from_nodes(network: RoadNetwork, nodes: Sequence[NodeId]) -> "Path":
+        """Build a path from a node sequence, validating edges and summing cost."""
+        if not nodes:
+            raise GraphError("a path needs at least one node")
+        cost = 0.0
+        for a, b in zip(nodes[:-1], nodes[1:]):
+            cost += network.edge_weight(a, b)
+        return Path(tuple(nodes), cost)
+
+
+def validate_path(network: RoadNetwork, path: Path) -> None:
+    """Raise :class:`GraphError` unless ``path`` is a valid path in ``network``
+    whose stated cost matches the summed edge weights."""
+    rebuilt = Path.from_nodes(network, path.nodes)
+    if abs(rebuilt.cost - path.cost) > 1e-6 * max(1.0, abs(rebuilt.cost)):
+        raise GraphError(
+            f"path cost {path.cost} does not match edge-weight sum {rebuilt.cost}"
+        )
+
+
+@dataclass
+class SearchStats:
+    """Bookkeeping produced by the search algorithms (used by baselines to
+    count how many nodes/regions they touch)."""
+
+    settled_nodes: int = 0
+    relaxed_edges: int = 0
+    visited_nodes: List[NodeId] = field(default_factory=list)

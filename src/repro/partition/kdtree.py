@@ -1,0 +1,144 @@
+"""Plain KD-tree partitioning (Section 5.1).
+
+The network is split recursively along alternating axes (at the median of the
+node information stream) until the region data of every leaf fits into one
+disk page (or, for clustered variants, a fixed number of pages).  This is the
+baseline partitioner; it can leave up to ~50% of each page unused, which is
+what the packed variant of Section 5.6 fixes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..exceptions import PartitionError
+from ..network import NodeId, RoadNetwork
+from .regiondata import node_record_size
+from .regions import LeafNode, Partitioning, Region, SplitNode, TreeNode
+
+SizeFn = Callable[[RoadNetwork, NodeId], int]
+
+
+def _node_sizes(network: RoadNetwork, node_ids: Sequence[NodeId], size_fn: SizeFn) -> List[int]:
+    return [size_fn(network, node_id) for node_id in node_ids]
+
+
+def _sort_by_axis(network: RoadNetwork, node_ids: Sequence[NodeId], axis: int) -> List[NodeId]:
+    def key(node_id: NodeId) -> Tuple[float, int]:
+        node = network.node(node_id)
+        coordinate = node.x if axis == 0 else node.y
+        return (coordinate, node_id)
+
+    return sorted(node_ids, key=key)
+
+
+def _coordinate(network: RoadNetwork, node_id: NodeId, axis: int) -> float:
+    node = network.node(node_id)
+    return node.x if axis == 0 else node.y
+
+
+def adjust_split_for_ties(
+    network: RoadNetwork, sorted_ids: Sequence[NodeId], axis: int, split_index: int
+) -> Optional[int]:
+    """Move ``split_index`` to the closest position where the boundary coordinates differ.
+
+    ``split_index`` is the number of nodes that go to the left child.  Returns
+    ``None`` when every node shares the same coordinate on this axis (no valid
+    split exists).
+    """
+    count = len(sorted_ids)
+    if count < 2:
+        return None
+    split_index = max(1, min(count - 1, split_index))
+
+    def valid(index: int) -> bool:
+        left_coord = _coordinate(network, sorted_ids[index - 1], axis)
+        right_coord = _coordinate(network, sorted_ids[index], axis)
+        return left_coord < right_coord
+
+    if valid(split_index):
+        return split_index
+    for delta in range(1, count):
+        for candidate in (split_index - delta, split_index + delta):
+            if 1 <= candidate <= count - 1 and valid(candidate):
+                return candidate
+    return None
+
+
+class _RegionCollector:
+    """Accumulates leaf regions in creation order and assigns their identifiers."""
+
+    def __init__(self) -> None:
+        self.regions: List[Region] = []
+
+    def add_leaf(self, node_ids: Sequence[NodeId]) -> LeafNode:
+        region_id = len(self.regions)
+        self.regions.append(Region(region_id, tuple(node_ids)))
+        return LeafNode(region_id)
+
+
+def plain_kdtree_partition(
+    network: RoadNetwork,
+    capacity_bytes: int,
+    size_fn: SizeFn = node_record_size,
+    first_axis: int = 0,
+) -> Partitioning:
+    """Partition the network with a standard (median-split) KD-tree.
+
+    ``capacity_bytes`` is the page payload available for one region's data.
+    """
+    node_ids = list(network.node_ids())
+    if not node_ids:
+        raise PartitionError("cannot partition an empty network")
+    _check_capacity(network, node_ids, capacity_bytes, size_fn)
+
+    collector = _RegionCollector()
+
+    def build(ids: Sequence[NodeId], axis: int) -> TreeNode:
+        sizes = _node_sizes(network, ids, size_fn)
+        if sum(sizes) <= capacity_bytes:
+            return collector.add_leaf(ids)
+        split = _median_split(network, ids, axis)
+        if split is None:
+            other_axis = 1 - axis
+            split = _median_split(network, ids, other_axis)
+            if split is None:
+                raise PartitionError(
+                    "region data exceeds a page but all node coordinates coincide"
+                )
+            axis = other_axis
+        left_ids, right_ids, split_value = split
+        return SplitNode(
+            axis,
+            split_value,
+            build(left_ids, 1 - axis),
+            build(right_ids, 1 - axis),
+        )
+
+    def _median_split(
+        net: RoadNetwork, ids: Sequence[NodeId], axis: int
+    ) -> Optional[Tuple[List[NodeId], List[NodeId], float]]:
+        sorted_ids = _sort_by_axis(net, ids, axis)
+        index = adjust_split_for_ties(net, sorted_ids, axis, len(sorted_ids) // 2)
+        if index is None:
+            return None
+        left_ids = sorted_ids[:index]
+        right_ids = sorted_ids[index:]
+        split_value = _coordinate(net, right_ids[0], axis)
+        return left_ids, right_ids, split_value
+
+    tree = build(node_ids, first_axis)
+    return Partitioning(network, collector.regions, tree)
+
+
+def _check_capacity(
+    network: RoadNetwork, node_ids: Sequence[NodeId], capacity_bytes: int, size_fn: SizeFn
+) -> int:
+    """Validate that every individual node record fits; returns the maximum record size."""
+    max_size = max(size_fn(network, node_id) for node_id in node_ids)
+    if max_size > capacity_bytes:
+        raise PartitionError(
+            f"largest node record ({max_size} bytes) exceeds the page capacity "
+            f"({capacity_bytes} bytes); use a larger page size or clustered regions"
+        )
+    return max_size

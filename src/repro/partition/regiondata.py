@@ -1,0 +1,81 @@
+"""Encoding of region data: the node records stored in the region data file ``Fd``.
+
+The information kept for a node (Section 5.1) is its identifier, its Euclidean
+coordinates and its adjacency list (adjacent node identifiers and the weights
+of the corresponding edges).  Both the partitioners (which must know record
+sizes to pack pages) and the ``Fd`` file builders (which write the records)
+use the functions in this module, so sizes are consistent by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..network import NodeId, RoadNetwork
+from ..storage import RecordReader, RecordWriter
+
+
+def encode_node_record(network: RoadNetwork, node_id: NodeId) -> bytes:
+    """Serialize one node: id, coordinates and adjacency list."""
+    node = network.node(node_id)
+    writer = RecordWriter()
+    writer.uint32(node.node_id)
+    writer.float32(node.x)
+    writer.float32(node.y)
+    neighbors = network.neighbors(node_id)
+    writer.varint(len(neighbors))
+    for neighbor, weight in neighbors:
+        writer.uint32(neighbor)
+        writer.float32(weight)
+    return writer.getvalue()
+
+
+def node_record_size(network: RoadNetwork, node_id: NodeId) -> int:
+    """Exact on-disk size of a node record."""
+    return len(encode_node_record(network, node_id))
+
+
+def encode_region_payload(network: RoadNetwork, node_ids) -> bytes:
+    """Serialize the full payload of a region: a count followed by node records."""
+    node_ids = list(node_ids)
+    writer = RecordWriter()
+    writer.varint(len(node_ids))
+    for node_id in node_ids:
+        writer.raw(encode_node_record(network, node_id))
+    return writer.getvalue()
+
+
+def decode_region_payload(data: bytes) -> Dict[NodeId, Tuple[float, float, List[Tuple[NodeId, float]]]]:
+    """Parse a region payload back into ``{node_id: (x, y, adjacency)}``."""
+    reader = RecordReader(data)
+    count = reader.varint()
+    nodes: Dict[NodeId, Tuple[float, float, List[Tuple[NodeId, float]]]] = {}
+    for _ in range(count):
+        node_id = reader.uint32()
+        x = reader.float32()
+        y = reader.float32()
+        degree = reader.varint()
+        adjacency = [(reader.uint32(), reader.float32()) for _ in range(degree)]
+        nodes[node_id] = (x, y, adjacency)
+    return nodes
+
+
+def merge_region_payloads(payloads) -> "RoadNetwork":
+    """Assemble a client-side subgraph from decoded region payloads.
+
+    Edges pointing to nodes outside the retrieved regions are dropped, exactly
+    as happens when the querying client runs Dijkstra on the data it fetched.
+    """
+    from ..network import RoadNetwork  # local import to avoid a cycle at module load
+
+    merged: Dict[NodeId, Tuple[float, float, List[Tuple[NodeId, float]]]] = {}
+    for payload in payloads:
+        merged.update(payload)
+    subgraph = RoadNetwork()
+    for node_id, (x, y, _) in merged.items():
+        subgraph.add_node(node_id, x, y)
+    for node_id, (_, _, adjacency) in merged.items():
+        for neighbor, weight in adjacency:
+            if neighbor in merged:
+                subgraph.add_edge(node_id, neighbor, weight)
+    return subgraph

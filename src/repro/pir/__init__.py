@@ -1,0 +1,44 @@
+"""PIR substrate: real protocols, the SCP simulator, and access traces."""
+
+from .access_log import AccessTrace, AdversaryEvent, AdversaryView
+from .additive_pir import AdditivePirClient, AdditivePirServer
+from .oram import (
+    OramBackedPir,
+    OramServer,
+    SquareRootOram,
+    oblivious_sort_network,
+    stream_encrypt,
+)
+from .paillier import (
+    PaillierPrivateKey,
+    PaillierPublicKey,
+    generate_keypair,
+    generate_prime,
+)
+from .protocol import PirProtocol, validate_block_database
+from .scp import SecureCoprocessor, UsablePirSimulator
+from .xor_pir import TwoServerXorPir, XorPirServer, xor_bytes
+
+__all__ = [
+    "AccessTrace",
+    "AdditivePirClient",
+    "AdditivePirServer",
+    "AdversaryEvent",
+    "AdversaryView",
+    "OramBackedPir",
+    "OramServer",
+    "PaillierPrivateKey",
+    "PaillierPublicKey",
+    "PirProtocol",
+    "SecureCoprocessor",
+    "SquareRootOram",
+    "TwoServerXorPir",
+    "UsablePirSimulator",
+    "XorPirServer",
+    "generate_keypair",
+    "generate_prime",
+    "oblivious_sort_network",
+    "stream_encrypt",
+    "validate_block_database",
+    "xor_bytes",
+]

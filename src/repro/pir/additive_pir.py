@@ -1,0 +1,111 @@
+"""Single-server computational PIR built on Paillier encryption.
+
+The client sends an encrypted selection vector ``Enc(e_i)`` (a 1 for the
+wanted block, 0 elsewhere).  The server, for every chunk position, combines
+the ciphertexts homomorphically weighted by the chunk values of each block and
+returns the resulting ciphertexts; the client decrypts to obtain exactly the
+chunks of block ``i``.  Under the decisional composite residuosity assumption
+the server cannot distinguish the encrypted selection vectors of different
+indices, so it learns nothing about which block was fetched.
+
+This protocol is quadratic in database size and is used only for small
+demonstration databases; the evaluation-scale experiments use the
+hardware-aided simulator in :mod:`repro.pir.scp` instead, exactly as the paper
+does.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..exceptions import PirError
+from .paillier import PaillierPrivateKey, PaillierPublicKey, generate_keypair
+from .protocol import PirProtocol, validate_block_database
+
+
+class AdditivePirServer:
+    """Server side: stores plaintext blocks, answers encrypted selection vectors."""
+
+    def __init__(self, blocks: Sequence[bytes], chunk_bytes: int = 32) -> None:
+        self._blocks = validate_block_database(blocks)
+        if chunk_bytes <= 0:
+            raise PirError("chunk size must be positive")
+        self.chunk_bytes = chunk_bytes
+        self.block_size = len(self._blocks[0])
+        self.queries_seen: List[Tuple[int, ...]] = []
+        self._chunked = [self._split_chunks(block) for block in self._blocks]
+
+    def _split_chunks(self, block: bytes) -> List[int]:
+        chunks = []
+        for start in range(0, len(block), self.chunk_bytes):
+            chunks.append(int.from_bytes(block[start:start + self.chunk_bytes], "big"))
+        return chunks
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self._chunked[0])
+
+    def answer(self, public_key: PaillierPublicKey, encrypted_selector: Sequence[int]) -> List[int]:
+        """Homomorphic dot products of the selector with every chunk column."""
+        if len(encrypted_selector) != self.num_blocks:
+            raise PirError("selection vector length must equal the number of blocks")
+        if self.chunk_bytes * 8 >= public_key.n.bit_length() - 1:
+            raise PirError("chunk size too large for the Paillier modulus")
+        self.queries_seen.append(tuple(encrypted_selector))
+        answers = []
+        for chunk_index in range(self.num_chunks):
+            accumulator = public_key.encrypt(0, randomness=1)  # deterministic Enc(0) = 1·...
+            for block_index, ciphertext in enumerate(encrypted_selector):
+                value = self._chunked[block_index][chunk_index]
+                if value == 0:
+                    continue
+                weighted = public_key.multiply_plain(ciphertext, value)
+                accumulator = public_key.add(accumulator, weighted)
+            answers.append(accumulator)
+        return answers
+
+
+class AdditivePirClient(PirProtocol):
+    """Client side of the single-server computational PIR."""
+
+    def __init__(
+        self,
+        blocks: Sequence[bytes],
+        key_bits: int = 512,
+        chunk_bytes: int = 32,
+        keypair: Optional[Tuple[PaillierPublicKey, PaillierPrivateKey]] = None,
+    ) -> None:
+        self.server = AdditivePirServer(blocks, chunk_bytes=chunk_bytes)
+        if keypair is None:
+            keypair = generate_keypair(key_bits)
+        self.public_key, self._private_key = keypair
+        if chunk_bytes * 8 >= self.public_key.n.bit_length() - 1:
+            raise PirError("chunk size too large for the chosen key size")
+
+    @property
+    def num_blocks(self) -> int:
+        return self.server.num_blocks
+
+    def retrieve(self, index: int) -> bytes:
+        if index < 0 or index >= self.num_blocks:
+            raise PirError(f"block index {index} out of range")
+        selector = [
+            self.public_key.encrypt(1 if position == index else 0)
+            for position in range(self.num_blocks)
+        ]
+        answers = self.server.answer(self.public_key, selector)
+        chunks = [self._private_key.decrypt(ciphertext) for ciphertext in answers]
+        block = b"".join(
+            chunk.to_bytes(self._chunk_size_for(position), "big")
+            for position, chunk in enumerate(chunks)
+        )
+        return block[: self.server.block_size]
+
+    def _chunk_size_for(self, chunk_position: int) -> int:
+        start = chunk_position * self.server.chunk_bytes
+        end = min(start + self.server.chunk_bytes, self.server.block_size)
+        return end - start

@@ -1,0 +1,136 @@
+"""A small, self-contained Paillier cryptosystem.
+
+Paillier encryption is additively homomorphic:
+``Enc(a) · Enc(b) mod n² = Enc(a + b)`` and ``Enc(a)^k = Enc(k·a)``.
+The single-server computational PIR in :mod:`repro.pir.additive_pir` relies on
+exactly this property.
+
+This implementation uses Python integers only (the paper's reproduction hint
+suggests ``gmpy2``; plain ``int`` keeps the package dependency-free at the
+cost of speed, which is acceptable because the real-protocol code paths are
+exercised on small demonstration databases).  Key sizes default to 512-bit
+moduli — *not* production strength, but honest cryptography for tests and
+examples.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..exceptions import PirError
+
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113,
+]
+
+
+def _is_probable_prime(candidate: int, rounds: int = 20) -> bool:
+    """Miller-Rabin primality test."""
+    if candidate < 2:
+        return False
+    for prime in _SMALL_PRIMES:
+        if candidate % prime == 0:
+            return candidate == prime
+    d = candidate - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        witness = secrets.randbelow(candidate - 3) + 2
+        x = pow(witness, d, candidate)
+        if x in (1, candidate - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, candidate)
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int) -> int:
+    """Generate a random probable prime with the requested bit length."""
+    if bits < 8:
+        raise PirError("prime size too small")
+    while True:
+        candidate = secrets.randbits(bits) | (1 << (bits - 1)) | 1
+        if _is_probable_prime(candidate):
+            return candidate
+
+
+@dataclass(frozen=True)
+class PaillierPublicKey:
+    n: int
+
+    @property
+    def n_squared(self) -> int:
+        return self.n * self.n
+
+    @property
+    def g(self) -> int:
+        return self.n + 1
+
+    def encrypt(self, plaintext: int, randomness: Optional[int] = None) -> int:
+        if plaintext < 0 or plaintext >= self.n:
+            raise PirError("plaintext out of range for this key")
+        if randomness is None:
+            while True:
+                randomness = secrets.randbelow(self.n)
+                if randomness > 0:
+                    break
+        n_sq = self.n_squared
+        return (pow(self.g, plaintext, n_sq) * pow(randomness, self.n, n_sq)) % n_sq
+
+    def add(self, ciphertext_a: int, ciphertext_b: int) -> int:
+        """Homomorphic addition of the underlying plaintexts."""
+        return (ciphertext_a * ciphertext_b) % self.n_squared
+
+    def multiply_plain(self, ciphertext: int, scalar: int) -> int:
+        """Homomorphic multiplication of the plaintext by a known scalar."""
+        return pow(ciphertext, scalar % self.n, self.n_squared)
+
+
+@dataclass(frozen=True)
+class PaillierPrivateKey:
+    public_key: PaillierPublicKey
+    lam: int   # lcm(p - 1, q - 1)
+    mu: int    # (L(g^lam mod n^2))^{-1} mod n
+
+    def decrypt(self, ciphertext: int) -> int:
+        n = self.public_key.n
+        n_sq = self.public_key.n_squared
+        if ciphertext < 0 or ciphertext >= n_sq:
+            raise PirError("ciphertext out of range for this key")
+        x = pow(ciphertext, self.lam, n_sq)
+        l_value = (x - 1) // n
+        return (l_value * self.mu) % n
+
+
+def generate_keypair(bits: int = 512) -> Tuple[PaillierPublicKey, PaillierPrivateKey]:
+    """Generate a Paillier keypair with an ``bits``-bit modulus."""
+    half = bits // 2
+    while True:
+        p = generate_prime(half)
+        q = generate_prime(half)
+        if p != q:
+            n = p * q
+            if n.bit_length() >= bits - 1:
+                break
+    lam = _lcm(p - 1, q - 1)
+    public_key = PaillierPublicKey(n)
+    # mu = (L(g^lam mod n^2))^{-1} mod n, with g = n + 1 so L(g^lam) = lam mod n
+    x = pow(public_key.g, lam, public_key.n_squared)
+    l_value = (x - 1) // n
+    mu = pow(l_value, -1, n)
+    return public_key, PaillierPrivateKey(public_key, lam, mu)
+
+
+def _lcm(a: int, b: int) -> int:
+    from math import gcd
+
+    return a // gcd(a, b) * b

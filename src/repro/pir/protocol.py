@@ -1,0 +1,48 @@
+"""Abstract PIR protocol interface.
+
+The paper treats PIR as a black-box building block (Section 1): any protocol
+that lets a client retrieve the ``i``-th page of a file without the server
+learning ``i`` can back the framework.  This module defines that black box.
+
+Two kinds of implementations live in this package:
+
+* *real* protocols (:mod:`repro.pir.xor_pir`, :mod:`repro.pir.additive_pir`)
+  that perform genuine oblivious retrieval and are used in tests/examples to
+  demonstrate the privacy property end to end on small files, and
+* the *hardware-aided simulator* (:mod:`repro.pir.scp`) that models the
+  Williams & Sion protocol on the IBM 4764 co-processor, which is what the
+  paper's evaluation uses.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence
+
+
+class PirProtocol(abc.ABC):
+    """Retrieves one block from a database of equal-sized blocks, obliviously."""
+
+    @abc.abstractmethod
+    def retrieve(self, index: int) -> bytes:
+        """Return the block at ``index`` without revealing ``index`` to the server."""
+
+    @property
+    @abc.abstractmethod
+    def num_blocks(self) -> int:
+        """Number of blocks in the database."""
+
+
+def validate_block_database(blocks: Sequence[bytes]) -> List[bytes]:
+    """Check that all blocks have equal size and return them as a list."""
+    blocks = list(blocks)
+    if not blocks:
+        raise ValueError("a PIR database needs at least one block")
+    size = len(blocks[0])
+    for position, block in enumerate(blocks):
+        if len(block) != size:
+            raise ValueError(
+                f"block {position} has {len(block)} bytes, expected {size} "
+                "(PIR databases use equal-sized blocks)"
+            )
+    return blocks

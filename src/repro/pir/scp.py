@@ -1,0 +1,113 @@
+"""Secure co-processor (SCP) and hardware-aided PIR simulator.
+
+The paper employs the protocol of Williams & Sion [36] running on an IBM 4764
+cryptographic co-processor installed at the LBS, and *strictly simulates* its
+performance (Section 7.1).  This module reproduces that simulation:
+
+* :class:`SecureCoprocessor` models the device: its memory, the ``c·sqrt(N)``
+  memory requirement of the protocol, and the resulting maximum supported
+  file size (2.5 GByte with 32 MByte of SCP RAM).
+* :class:`UsablePirSimulator` is the PIR black box the schemes talk to.  It
+  returns the requested page content (the SCP is trusted, so functionally the
+  retrieval simply succeeds) while charging the amortized ``O(log² N)``
+  retrieval cost and recording what the adversary observes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from ..costmodel import DEFAULT_SPEC, SystemSpec, pir_page_retrieval_time
+from ..exceptions import FileSizeLimitError, PirError
+from ..storage import Database, PageFile
+from .access_log import AccessTrace
+
+
+class SecureCoprocessor:
+    """A tamper-resistant secure co-processor installed at the LBS."""
+
+    def __init__(self, spec: SystemSpec = DEFAULT_SPEC) -> None:
+        self.spec = spec
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.spec.scp_memory_bytes
+
+    def memory_required_for(self, num_pages: int) -> float:
+        """Memory the PIR protocol of [36] needs to serve a file of ``num_pages`` pages."""
+        return self.spec.scp_memory_factor * math.sqrt(num_pages * self.spec.page_size)
+
+    def supports_file(self, page_file: PageFile) -> bool:
+        """Whether the SCP can serve PIR requests against ``page_file``."""
+        if page_file.size_bytes > self.spec.max_file_bytes:
+            return False
+        return self.memory_required_for(page_file.num_pages) <= self.memory_bytes
+
+    def check_file(self, page_file: PageFile) -> None:
+        """Raise :class:`FileSizeLimitError` when the file cannot be supported."""
+        if not self.supports_file(page_file):
+            raise FileSizeLimitError(
+                page_file.name, page_file.size_bytes, self.spec.max_file_bytes
+            )
+
+
+class UsablePirSimulator:
+    """Simulated hardware-aided PIR access to the files of a :class:`Database`.
+
+    Every retrieval:
+
+    * validates the file against the SCP limits,
+    * records the adversary-visible event (file touched, not which page) and
+      the private page number in the supplied :class:`AccessTrace`,
+    * accumulates the simulated PIR time, and
+    * returns the page bytes.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        scp: Optional[SecureCoprocessor] = None,
+        spec: SystemSpec = DEFAULT_SPEC,
+        enforce_limits: bool = True,
+    ) -> None:
+        self.database = database
+        self.spec = spec
+        self.scp = scp if scp is not None else SecureCoprocessor(spec)
+        self.enforce_limits = enforce_limits
+        self._pir_time_s = 0.0
+
+    @property
+    def simulated_pir_time_s(self) -> float:
+        """Total simulated PIR time accumulated so far."""
+        return self._pir_time_s
+
+    def reset_time(self) -> None:
+        self._pir_time_s = 0.0
+
+    def file_page_counts(self) -> Dict[str, int]:
+        return {name: self.database.file(name).num_pages for name in self.database.file_names()}
+
+    def retrieve_page(
+        self, file_name: str, page_number: int, trace: Optional[AccessTrace] = None
+    ) -> bytes:
+        """Obliviously retrieve one page of ``file_name``."""
+        page_file = self.database.file(file_name)
+        if self.enforce_limits:
+            self.scp.check_file(page_file)
+        if page_number < 0 or page_number >= page_file.num_pages:
+            raise PirError(
+                f"page {page_number} out of range for file {file_name!r} "
+                f"({page_file.num_pages} pages)"
+            )
+        self._pir_time_s += pir_page_retrieval_time(page_file.num_pages, self.spec)
+        if trace is not None:
+            trace.record_pir_access(file_name, page_number)
+        return page_file.read_page(page_number)
+
+    def download_header(self, trace: Optional[AccessTrace] = None) -> bytes:
+        """Download the header file in full, without the PIR interface."""
+        header = self.database.header
+        if trace is not None:
+            trace.record_header_download(len(header))
+        return header

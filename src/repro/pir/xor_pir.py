@@ -1,0 +1,86 @@
+"""Two-server information-theoretic PIR (Chor, Goldreich, Kushilevitz, Sudan [4]).
+
+The database (a list of equal-sized blocks) is replicated on two
+non-colluding servers.  To fetch block ``i`` the client draws a uniformly
+random subset of block indices, sends it to server 0, and sends the same
+subset with index ``i`` toggled to server 1.  Each server XORs together the
+blocks named by its subset; the client XORs the two answers, which cancels
+every block except block ``i``.
+
+Each individual server sees a uniformly random subset regardless of ``i``, so
+it learns nothing about the retrieved index — this is the information-
+theoretic privacy guarantee the tests verify.
+"""
+
+from __future__ import annotations
+
+import secrets
+from typing import List, Optional, Sequence, Set
+
+from ..exceptions import PirError
+from .protocol import PirProtocol, validate_block_database
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """Byte-wise XOR of two equal-length byte strings."""
+    if len(a) != len(b):
+        raise PirError("cannot XOR byte strings of different lengths")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+class XorPirServer:
+    """One of the two replicated servers."""
+
+    def __init__(self, blocks: Sequence[bytes]) -> None:
+        self._blocks = validate_block_database(blocks)
+        self.queries_seen: List[frozenset] = []
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def block_size(self) -> int:
+        return len(self._blocks[0])
+
+    def answer(self, subset: Set[int]) -> bytes:
+        """XOR of the blocks whose indices are in ``subset``."""
+        for index in subset:
+            if index < 0 or index >= len(self._blocks):
+                raise PirError(f"block index {index} out of range")
+        self.queries_seen.append(frozenset(subset))
+        result = bytes(self.block_size)
+        for index in subset:
+            result = xor_bytes(result, self._blocks[index])
+        return result
+
+
+class TwoServerXorPir(PirProtocol):
+    """Client-side driver of the two-server XOR PIR."""
+
+    def __init__(self, blocks: Sequence[bytes], rng: Optional[secrets.SystemRandom] = None) -> None:
+        blocks = validate_block_database(blocks)
+        self.server_a = XorPirServer(blocks)
+        self.server_b = XorPirServer(blocks)
+        self._num_blocks = len(blocks)
+        self._rng = rng if rng is not None else secrets.SystemRandom()
+
+    @property
+    def num_blocks(self) -> int:
+        return self._num_blocks
+
+    def _random_subset(self) -> Set[int]:
+        return {index for index in range(self._num_blocks) if self._rng.random() < 0.5}
+
+    def retrieve(self, index: int) -> bytes:
+        if index < 0 or index >= self._num_blocks:
+            raise PirError(f"block index {index} out of range")
+        subset_a = self._random_subset()
+        subset_b = set(subset_a)
+        if index in subset_b:
+            subset_b.remove(index)
+        else:
+            subset_b.add(index)
+        answer_a = self.server_a.answer(subset_a)
+        answer_b = self.server_b.answer(subset_b)
+        return xor_bytes(answer_a, answer_b)

@@ -1,0 +1,23 @@
+"""Pre-computation: border-to-border products, landmark vectors and arc flags."""
+
+from .arcflags import ArcFlagIndex, build_arc_flags
+from .border_products import BorderProducts, compute_border_products
+from .landmarks import LandmarkIndex, build_landmark_index, select_anchors
+from .sparsify import (
+    ApproximateProducts,
+    SparsificationStats,
+    compute_approximate_passage_subgraphs,
+)
+
+__all__ = [
+    "ApproximateProducts",
+    "ArcFlagIndex",
+    "BorderProducts",
+    "LandmarkIndex",
+    "SparsificationStats",
+    "build_arc_flags",
+    "build_landmark_index",
+    "compute_approximate_passage_subgraphs",
+    "compute_border_products",
+    "select_anchors",
+]

@@ -1,0 +1,181 @@
+"""Border-to-border shortest-path pre-computation (Sections 5.2 and 6).
+
+For every ordered pair of regions ``(i, j)`` the schemes need one of two
+pre-computed products:
+
+* ``S_ij`` — the set of *intermediate regions* crossed by at least one
+  shortest path from a border node of ``R_i`` to a border node of ``R_j``
+  (used by CI and by the region-set part of HY), and
+* ``G_ij`` — the exact set of original directed edges appearing in at least
+  one such shortest path (the *passage subgraph* used by PI, PI* and the
+  subgraph part of HY).
+
+Both are derived from the same single-source shortest-path trees rooted at
+border nodes of the augmented network, so this module computes them in one
+pass.  For every source border node one Dijkstra tree is built; the union of
+paths towards the border nodes of each destination region is then extracted
+by walking parent pointers with memoisation, which costs time proportional to
+the size of the union rather than to the sum of path lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from ..network import NodeId, RoadNetwork, dijkstra_tree
+from ..partition import BorderNodeIndex, Partitioning, RegionId
+
+RegionPair = Tuple[RegionId, RegionId]
+DirectedEdge = Tuple[NodeId, NodeId]
+
+
+@dataclass
+class BorderProducts:
+    """Pre-computation output: region sets and/or passage subgraphs."""
+
+    #: ``S_ij`` — intermediate regions, excluding ``i`` and ``j`` themselves.
+    region_sets: Dict[RegionPair, FrozenSet[RegionId]] = field(default_factory=dict)
+    #: ``G_ij`` — original directed edges on border-to-border shortest paths.
+    passage_subgraphs: Dict[RegionPair, FrozenSet[DirectedEdge]] = field(default_factory=dict)
+
+    def max_region_set_size(self) -> int:
+        """The value ``m`` of Section 5.4: the largest ``|S_ij|``."""
+        if not self.region_sets:
+            return 0
+        return max(len(regions) for regions in self.region_sets.values())
+
+    def region_set(self, i: RegionId, j: RegionId) -> FrozenSet[RegionId]:
+        return self.region_sets.get((i, j), frozenset())
+
+    def passage_subgraph(self, i: RegionId, j: RegionId) -> FrozenSet[DirectedEdge]:
+        return self.passage_subgraphs.get((i, j), frozenset())
+
+
+def compute_border_products(
+    network: RoadNetwork,
+    partitioning: Partitioning,
+    border_index: BorderNodeIndex,
+    want_region_sets: bool = True,
+    want_subgraphs: bool = False,
+    subgraph_pairs: Optional[Iterable[RegionPair]] = None,
+) -> BorderProducts:
+    """Compute ``S_ij`` and/or ``G_ij`` for all ordered region pairs.
+
+    ``subgraph_pairs`` optionally restricts the pairs for which passage
+    subgraphs are materialised (HY only needs them for the region sets it
+    replaces); ``None`` means all pairs.
+    """
+    products = BorderProducts()
+    if not want_region_sets and not want_subgraphs:
+        return products
+
+    restricted: Optional[Set[RegionPair]] = None
+    if want_subgraphs and subgraph_pairs is not None:
+        restricted = set(subgraph_pairs)
+
+    region_sets: Dict[RegionPair, Set[RegionId]] = {}
+    subgraphs: Dict[RegionPair, Set[DirectedEdge]] = {}
+    augmented = border_index.augmented
+    borders_by_region = border_index.borders_of_region
+
+    for source_border in border_index.border_nodes():
+        tree = dijkstra_tree(augmented, source_border)
+        source_regions = border_index.regions_of_border[source_border]
+        for destination_region, targets in borders_by_region.items():
+            wants_edges_here = want_subgraphs and (
+                restricted is None
+                or any((i, destination_region) in restricted for i in source_regions)
+            )
+            if not want_region_sets and not wants_edges_here:
+                continue
+            regions_on_paths, edges_on_paths = _collect_paths(
+                network,
+                partitioning,
+                border_index,
+                tree,
+                source_border,
+                targets,
+                collect_edges=wants_edges_here,
+            )
+            for source_region in source_regions:
+                key = (source_region, destination_region)
+                if want_region_sets:
+                    bucket = region_sets.setdefault(key, set())
+                    bucket.update(
+                        region
+                        for region in regions_on_paths
+                        if region != source_region and region != destination_region
+                    )
+                if wants_edges_here and (restricted is None or key in restricted):
+                    subgraphs.setdefault(key, set()).update(edges_on_paths)
+
+    if want_region_sets:
+        for region_i in partitioning.region_ids():
+            for region_j in partitioning.region_ids():
+                key = (region_i, region_j)
+                products.region_sets[key] = frozenset(region_sets.get(key, set()))
+    if want_subgraphs:
+        keys = restricted if restricted is not None else [
+            (i, j) for i in partitioning.region_ids() for j in partitioning.region_ids()
+        ]
+        for key in keys:
+            products.passage_subgraphs[key] = frozenset(subgraphs.get(key, set()))
+    return products
+
+
+def _collect_paths(
+    network: RoadNetwork,
+    partitioning: Partitioning,
+    border_index: BorderNodeIndex,
+    tree,
+    source_border: NodeId,
+    targets,
+    collect_edges: bool,
+) -> Tuple[Set[RegionId], Set[DirectedEdge]]:
+    """Union of regions/edges over the tree paths from the source border to ``targets``."""
+    visited: Set[NodeId] = set()
+    regions_on_paths: Set[RegionId] = set()
+    edges_on_paths: Set[DirectedEdge] = set()
+
+    for target in targets:
+        if target == source_border or not tree.has_path_to(target):
+            continue
+        node = target
+        while node not in visited:
+            visited.add(node)
+            if not border_index.is_border(node):
+                regions_on_paths.add(partitioning.region_of_node(node))
+            parent = tree.parents.get(node)
+            if parent is None:
+                break
+            if collect_edges:
+                edge = _original_directed_edge(network, border_index, parent, node)
+                if edge is not None:
+                    edges_on_paths.add(edge)
+            node = parent
+
+    return regions_on_paths, edges_on_paths
+
+
+def _original_directed_edge(
+    network: RoadNetwork,
+    border_index: BorderNodeIndex,
+    parent: NodeId,
+    child: NodeId,
+) -> Optional[DirectedEdge]:
+    """Map one augmented-graph step ``parent -> child`` to an original directed edge."""
+    parent_is_border = border_index.is_border(parent)
+    child_is_border = border_index.is_border(child)
+    if not parent_is_border and not child_is_border:
+        return (parent, child)
+    if parent_is_border and not child_is_border:
+        endpoint_a, endpoint_b = border_index.original_edge_of_border[parent]
+        other = endpoint_a if child == endpoint_b else endpoint_b
+        return (other, child) if network.has_edge(other, child) else None
+    if child_is_border and not parent_is_border:
+        endpoint_a, endpoint_b = border_index.original_edge_of_border[child]
+        other = endpoint_b if parent == endpoint_a else endpoint_a
+        return (parent, other) if network.has_edge(parent, other) else None
+    # two consecutive border nodes cannot be adjacent in the augmented network
+    return None

@@ -1,0 +1,111 @@
+"""Landmark (ALT) pre-computation for the LM baseline (Section 4).
+
+A small number of anchor nodes is selected; for every node the shortest-path
+costs to all anchors are pre-computed and stored with the node (the *landmark
+vector*).  During query processing an A* search uses the triangle-inequality
+lower bound derived from these vectors to focus the expansion towards the
+destination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import GraphError
+from ..network import NodeId, RoadNetwork, dijkstra_tree
+
+
+@dataclass
+class LandmarkIndex:
+    """Landmark vectors for every node of the network."""
+
+    anchors: Tuple[NodeId, ...]
+    #: ``vectors[node][k]`` is the shortest-path cost from ``anchors[k]`` to ``node``.
+    vectors: Dict[NodeId, Tuple[float, ...]]
+
+    @property
+    def num_anchors(self) -> int:
+        return len(self.anchors)
+
+    def vector(self, node_id: NodeId) -> Tuple[float, ...]:
+        return self.vectors[node_id]
+
+    def lower_bound(self, node_id: NodeId, target: NodeId) -> float:
+        """ALT lower bound on the cost from ``node_id`` to ``target``."""
+        node_vector = self.vectors[node_id]
+        target_vector = self.vectors[target]
+        best = 0.0
+        for node_cost, target_cost in zip(node_vector, target_vector):
+            bound = abs(target_cost - node_cost)
+            if bound > best:
+                best = bound
+        return best
+
+    def heuristic_for(self, target: NodeId):
+        """A heuristic callable suitable for :func:`repro.network.astar_search`."""
+        target_vector = self.vectors[target]
+
+        def heuristic(node_id: NodeId) -> float:
+            node_vector = self.vectors[node_id]
+            best = 0.0
+            for node_cost, target_cost in zip(node_vector, target_vector):
+                bound = abs(target_cost - node_cost)
+                if bound > best:
+                    best = bound
+            return best
+
+        return heuristic
+
+
+def select_anchors(network: RoadNetwork, count: int, seed: int = 0) -> List[NodeId]:
+    """Select anchors with the farthest-point heuristic (spread over the plane)."""
+    if count < 1:
+        raise GraphError("at least one anchor is required")
+    node_ids = list(network.node_ids())
+    if count > len(node_ids):
+        raise GraphError("more anchors requested than nodes available")
+    rng = np.random.default_rng(seed)
+    coordinates = {
+        node_id: (network.node(node_id).x, network.node(node_id).y) for node_id in node_ids
+    }
+    first = node_ids[int(rng.integers(0, len(node_ids)))]
+    anchors = [first]
+    while len(anchors) < count:
+        best_node = None
+        best_distance = -1.0
+        for node_id in node_ids:
+            x, y = coordinates[node_id]
+            nearest = min(
+                (x - coordinates[a][0]) ** 2 + (y - coordinates[a][1]) ** 2 for a in anchors
+            )
+            if nearest > best_distance:
+                best_distance = nearest
+                best_node = node_id
+        anchors.append(best_node)
+    return anchors
+
+
+def build_landmark_index(
+    network: RoadNetwork, num_anchors: int, seed: int = 0
+) -> LandmarkIndex:
+    """Pre-compute landmark vectors for all nodes.
+
+    The networks produced by the generators are symmetric, so a forward
+    Dijkstra from each anchor yields both to-anchor and from-anchor costs;
+    unreachable nodes get an infinite entry (never the case for connected
+    networks).
+    """
+    anchors = select_anchors(network, num_anchors, seed)
+    per_anchor_costs: List[Dict[NodeId, float]] = []
+    for anchor in anchors:
+        tree = dijkstra_tree(network, anchor)
+        per_anchor_costs.append(tree.distances)
+    vectors: Dict[NodeId, Tuple[float, ...]] = {}
+    for node_id in network.node_ids():
+        vectors[node_id] = tuple(
+            costs.get(node_id, float("inf")) for costs in per_anchor_costs
+        )
+    return LandmarkIndex(tuple(anchors), vectors)

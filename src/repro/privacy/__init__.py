@@ -1,0 +1,33 @@
+"""Privacy model: the curious LBS adversary, indistinguishability checks and attacks."""
+
+from .adversary import (
+    IndistinguishabilityReport,
+    adversary_transcript,
+    check_indistinguishability,
+    views_identical,
+)
+from .attacks import (
+    FrequencyAttackReport,
+    VolumeAttackReport,
+    frequency_attack,
+    observation_from_counts,
+    observations_from_results,
+    rank_correlation,
+    simulate_unpadded_volumes,
+    volume_attack,
+)
+
+__all__ = [
+    "FrequencyAttackReport",
+    "IndistinguishabilityReport",
+    "VolumeAttackReport",
+    "adversary_transcript",
+    "check_indistinguishability",
+    "frequency_attack",
+    "observation_from_counts",
+    "observations_from_results",
+    "rank_correlation",
+    "simulate_unpadded_volumes",
+    "views_identical",
+    "volume_attack",
+]

@@ -1,0 +1,65 @@
+"""The adversary model and indistinguishability checks (Theorem 1).
+
+The LBS is *curious but not malicious*: it executes page-access routines
+correctly but tries to learn the clients' queries.  All it can observe during
+a query is (i) that the header was downloaded and (ii) a sequence of PIR page
+accesses, each tagged only with the file that was touched.  This module turns
+Theorem 1 into executable checks:
+
+* two queries are indistinguishable when their adversary views are identical;
+* a scheme is *plan-conforming* when every query's view equals the canonical
+  view derived from its public query plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from ..pir import AdversaryView
+from ..schemes.base import QueryResult
+from ..schemes.plan import QueryPlan
+
+
+@dataclass
+class IndistinguishabilityReport:
+    """Outcome of comparing the adversary views of a set of queries."""
+
+    num_queries: int
+    all_identical: bool
+    distinct_views: int
+    matches_plan: bool
+
+    @property
+    def leaks_nothing(self) -> bool:
+        """True when no query can be told apart from any other (Theorem 1)."""
+        return self.all_identical and self.matches_plan
+
+
+def views_identical(views: Sequence[AdversaryView]) -> bool:
+    """True when every view in the sequence is equal to the first."""
+    if not views:
+        return True
+    first = views[0]
+    return all(view == first for view in views[1:])
+
+
+def check_indistinguishability(
+    results: Iterable[QueryResult], plan: QueryPlan
+) -> IndistinguishabilityReport:
+    """Compare the adversary views of executed queries against each other and the plan."""
+    views: List[AdversaryView] = [result.adversary_view for result in results]
+    distinct = len({view for view in views})
+    expected = plan.expected_adversary_view()
+    matches_plan = all(view == expected for view in views)
+    return IndistinguishabilityReport(
+        num_queries=len(views),
+        all_identical=distinct <= 1,
+        distinct_views=distinct,
+        matches_plan=matches_plan,
+    )
+
+
+def adversary_transcript(view: AdversaryView) -> List[Tuple[int, str, str]]:
+    """A human-readable rendition of what the LBS observed."""
+    return [(event.round_number, event.kind, event.file_name) for event in view.events]

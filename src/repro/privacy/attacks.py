@@ -1,0 +1,226 @@
+"""Inference attacks an LBS could mount against *weaker* designs.
+
+Theorem 1 rests on two design rules: every page is fetched through PIR, and
+every query follows the same fixed plan.  This module implements the attacks
+that become possible when either rule is dropped, so tests and examples can
+demonstrate — rather than assert — why the rules are necessary:
+
+* the *volume attack* exploits per-query differences in the number of pages
+  fetched from each file (what an unpadded scheme would expose).  Observed
+  volumes correlate strongly with the source-destination distance, so the LBS
+  learns whether a trip is short or long and can distinguish re-executions of
+  different queries;
+* the *frequency attack* targets space-transformation designs (Section 2.1):
+  even though items are pseudonymised, their access frequencies remain, and
+  matching the observed frequency ranking against publicly known popularity
+  re-identifies a large fraction of items.
+
+Both attacks produce quantitative reports, and both collapse to "no
+information" when run against the padded, PIR-based schemes of this package.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import ReproError
+from ..network import NodeId, RoadNetwork
+from ..partition import Partitioning
+from ..precompute import BorderProducts
+from ..schemes.base import QueryResult
+
+#: One adversary-side observation: pages fetched per file for a single query.
+VolumeObservation = Tuple[Tuple[str, int], ...]
+
+
+def observation_from_counts(counts: Mapping[str, int]) -> VolumeObservation:
+    """Canonicalise a per-file page-count mapping into a hashable observation."""
+    return tuple(sorted((str(name), int(value)) for name, value in counts.items()))
+
+
+def observations_from_results(results: Iterable[QueryResult]) -> List[VolumeObservation]:
+    """Adversary-side volume observations of executed (padded) queries."""
+    return [observation_from_counts(result.pages_per_file) for result in results]
+
+
+def simulate_unpadded_volumes(
+    products: BorderProducts,
+    partitioning: Partitioning,
+    network: RoadNetwork,
+    queries: Sequence[Tuple[NodeId, NodeId]],
+    data_file: str = "data",
+    index_file: str = "index",
+) -> List[VolumeObservation]:
+    """What a CI-style scheme *without* dummy padding would expose per query.
+
+    Without padding, the fourth round fetches exactly ``|S_st| + 2`` region
+    pages, so the per-query volume varies with the region set cardinality of
+    the source/destination pair — precisely the leakage the fixed query plan
+    suppresses.
+    """
+    observations: List[VolumeObservation] = []
+    for source, target in queries:
+        source_node = network.node(source)
+        target_node = network.node(target)
+        source_region = partitioning.region_of_point(source_node.x, source_node.y)
+        target_region = partitioning.region_of_point(target_node.x, target_node.y)
+        regions = products.region_set(source_region, target_region)
+        observations.append(
+            observation_from_counts(
+                {"lookup": 1, index_file: 1, data_file: len(regions) + 2}
+            )
+        )
+    return observations
+
+
+# ---------------------------------------------------------------------- #
+# volume attack
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class VolumeAttackReport:
+    """Outcome of the volume (access-count) attack."""
+
+    num_queries: int
+    distinct_observations: int
+    #: Shannon entropy (bits) of the observation distribution.
+    observation_entropy_bits: float
+    #: Fraction of query pairs the adversary can tell apart.
+    distinguishable_pair_fraction: float
+    #: Rank correlation between total fetched pages and query distance
+    #: (``None`` when distances were not supplied or are degenerate).
+    distance_rank_correlation: Optional[float]
+
+    @property
+    def leaks_information(self) -> bool:
+        """True when at least two queries produced different observations."""
+        return self.distinct_observations > 1
+
+
+def _entropy_bits(observations: Sequence[VolumeObservation]) -> float:
+    counts: Dict[VolumeObservation, int] = {}
+    for observation in observations:
+        counts[observation] = counts.get(observation, 0) + 1
+    total = len(observations)
+    entropy = 0.0
+    for count in counts.values():
+        probability = count / total
+        entropy -= probability * math.log2(probability)
+    return entropy
+
+
+def _distinguishable_fraction(observations: Sequence[VolumeObservation]) -> float:
+    total_pairs = 0
+    distinguishable = 0
+    for first_index in range(len(observations)):
+        for second_index in range(first_index + 1, len(observations)):
+            total_pairs += 1
+            if observations[first_index] != observations[second_index]:
+                distinguishable += 1
+    if total_pairs == 0:
+        return 0.0
+    return distinguishable / total_pairs
+
+
+def _ranks(values: Sequence[float]) -> List[float]:
+    order = sorted(range(len(values)), key=lambda index: values[index])
+    ranks = [0.0] * len(values)
+    position = 0
+    while position < len(order):
+        tie_end = position
+        while (
+            tie_end + 1 < len(order)
+            and values[order[tie_end + 1]] == values[order[position]]
+        ):
+            tie_end += 1
+        mean_rank = (position + tie_end) / 2.0
+        for tied in range(position, tie_end + 1):
+            ranks[order[tied]] = mean_rank
+        position = tie_end + 1
+    return ranks
+
+
+def rank_correlation(first: Sequence[float], second: Sequence[float]) -> Optional[float]:
+    """Spearman rank correlation; ``None`` when either sequence is constant."""
+    if len(first) != len(second):
+        raise ReproError("rank correlation needs sequences of equal length")
+    if len(first) < 2:
+        return None
+    ranks_a = _ranks(first)
+    ranks_b = _ranks(second)
+    mean_a = sum(ranks_a) / len(ranks_a)
+    mean_b = sum(ranks_b) / len(ranks_b)
+    numerator = sum((a - mean_a) * (b - mean_b) for a, b in zip(ranks_a, ranks_b))
+    var_a = sum((a - mean_a) ** 2 for a in ranks_a)
+    var_b = sum((b - mean_b) ** 2 for b in ranks_b)
+    if var_a == 0 or var_b == 0:
+        return None
+    return numerator / math.sqrt(var_a * var_b)
+
+
+def volume_attack(
+    observations: Sequence[VolumeObservation],
+    distances: Optional[Sequence[float]] = None,
+) -> VolumeAttackReport:
+    """Mount the volume attack on a set of adversary-side observations."""
+    if not observations:
+        raise ReproError("the volume attack needs at least one observation")
+    correlation: Optional[float] = None
+    if distances is not None:
+        if len(distances) != len(observations):
+            raise ReproError("one distance per observation is required")
+        totals = [float(sum(count for _, count in observation)) for observation in observations]
+        correlation = rank_correlation(totals, list(distances))
+    return VolumeAttackReport(
+        num_queries=len(observations),
+        distinct_observations=len(set(observations)),
+        observation_entropy_bits=_entropy_bits(observations),
+        distinguishable_pair_fraction=_distinguishable_fraction(observations),
+        distance_rank_correlation=correlation,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# frequency attack (against space-transformation designs)
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FrequencyAttackReport:
+    """Outcome of matching observed access frequencies against public popularity."""
+
+    num_items: int
+    correctly_identified: int
+
+    @property
+    def identification_rate(self) -> float:
+        if self.num_items == 0:
+            return 0.0
+        return self.correctly_identified / self.num_items
+
+
+def frequency_attack(
+    observed_access_counts: Mapping[object, int],
+    public_popularity: Mapping[object, int],
+) -> FrequencyAttackReport:
+    """Re-identify pseudonymised items by matching frequency ranks.
+
+    ``observed_access_counts`` maps *pseudonymous* item identifiers to how
+    often the server saw them accessed; ``public_popularity`` maps the *true*
+    item identifiers to their publicly known popularity.  The attack sorts
+    both sides by frequency and pairs them off rank by rank; an item counts as
+    identified when its pseudonym is paired with its true identity.  The
+    mapping between pseudonyms and true items is taken to be the identity
+    (the caller relabels if needed), which keeps the scoring transparent.
+    """
+    if set(observed_access_counts) != set(public_popularity):
+        raise ReproError("observed and public item sets must coincide for scoring")
+    observed_ranked = sorted(
+        observed_access_counts, key=lambda item: (-observed_access_counts[item], repr(item))
+    )
+    public_ranked = sorted(
+        public_popularity, key=lambda item: (-public_popularity[item], repr(item))
+    )
+    correct = sum(
+        1 for observed, truth in zip(observed_ranked, public_ranked) if observed == truth
+    )
+    return FrequencyAttackReport(num_items=len(observed_ranked), correctly_identified=correct)

@@ -1,0 +1,226 @@
+"""Scheme base classes: query execution, plan enforcement and cost accounting.
+
+A *scheme* owns a database hosted by the LBS, a fixed query plan, and the
+client-side query-processing logic.  All schemes answer a query through the
+same machinery:
+
+* the :class:`RoundManager` performs header downloads and PIR page fetches,
+  recording them in an :class:`~repro.pir.AccessTrace`,
+* the scheme pads every round with dummy retrievals until it matches the plan,
+* :func:`verify_plan_conformance` asserts (not just hopes) that the adversary
+  view equals the plan's canonical view, and
+* :func:`response_time_from_trace` converts the trace into the paper's
+  response-time decomposition.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..costmodel import CostModel, DEFAULT_SPEC, ResponseTime, SystemSpec
+from ..exceptions import PlanViolationError, SchemeError
+from ..network import NodeId, Path, RoadNetwork
+from ..pir import AccessTrace, AdversaryView, SecureCoprocessor, UsablePirSimulator
+from ..storage import Database
+from .plan import QueryPlan
+
+
+@dataclass
+class QueryResult:
+    """Everything a single private shortest-path query produces."""
+
+    path: Path
+    response: ResponseTime
+    trace: AccessTrace
+    client_seconds: float
+
+    @property
+    def adversary_view(self) -> AdversaryView:
+        return self.trace.adversary_view()
+
+    @property
+    def pages_per_file(self) -> Dict[str, int]:
+        return self.trace.pir_accesses_per_file()
+
+    @property
+    def total_pir_pages(self) -> int:
+        return self.trace.total_pir_accesses()
+
+
+class RoundManager:
+    """Drives the multi-round client protocol for one query."""
+
+    def __init__(
+        self,
+        pir: UsablePirSimulator,
+        trace: AccessTrace,
+        rng: random.Random,
+    ) -> None:
+        self._pir = pir
+        self._trace = trace
+        self._rng = rng
+        self._round_counts: Dict[str, int] = {}
+
+    def begin_round(self) -> int:
+        self._round_counts = {}
+        return self._trace.begin_round()
+
+    def download_header(self) -> bytes:
+        return self._pir.download_header(self._trace)
+
+    def fetch(self, file_name: str, page_number: int) -> bytes:
+        data = self._pir.retrieve_page(file_name, page_number, self._trace)
+        self._round_counts[file_name] = self._round_counts.get(file_name, 0) + 1
+        return data
+
+    def fetch_many(self, file_name: str, page_numbers: Sequence[int]) -> List[bytes]:
+        return [self.fetch(file_name, page_number) for page_number in page_numbers]
+
+    def pages_fetched_this_round(self, file_name: str) -> int:
+        return self._round_counts.get(file_name, 0)
+
+    def pad(self, file_name: str, target_pages: int) -> None:
+        """Issue dummy retrievals until ``target_pages`` pages of ``file_name``
+        have been fetched in the current round.
+
+        Dummy requests target uniformly random pages so they are
+        indistinguishable from real ones at the PIR layer.
+        """
+        already = self.pages_fetched_this_round(file_name)
+        if already > target_pages:
+            raise PlanViolationError(
+                f"query fetched {already} pages from {file_name!r} but the plan "
+                f"allows only {target_pages}"
+            )
+        num_pages = self._pir.database.file(file_name).num_pages
+        for _ in range(target_pages - already):
+            self.fetch(file_name, self._rng.randrange(num_pages))
+
+
+def verify_plan_conformance(trace: AccessTrace, plan: QueryPlan) -> None:
+    """Raise :class:`PlanViolationError` unless the trace matches the plan exactly."""
+    observed = trace.adversary_view()
+    expected = plan.expected_adversary_view()
+    if observed != expected:
+        raise PlanViolationError(
+            "query execution deviated from the fixed query plan; observed "
+            f"{[ (e.round_number, e.kind, e.file_name) for e in observed.events ]} "
+            f"but expected {[ (e.round_number, e.kind, e.file_name) for e in expected.events ]}"
+        )
+
+
+def response_time_from_trace(
+    trace: AccessTrace,
+    database: Database,
+    cost_model: CostModel,
+    client_seconds: float = 0.0,
+) -> ResponseTime:
+    """Convert an access trace into the paper's response-time decomposition."""
+    file_sizes = {name: database.file(name).num_pages for name in database.file_names()}
+    response = ResponseTime(client_s=client_seconds)
+    per_round: Dict[int, Dict[str, int]] = {}
+    header_rounds: Dict[int, int] = {}
+    for event in trace.adversary_view().events:
+        if event.kind == "header":
+            header_rounds[event.round_number] = header_rounds.get(event.round_number, 0) + 1
+        else:
+            round_files = per_round.setdefault(event.round_number, {})
+            round_files[event.file_name] = round_files.get(event.file_name, 0) + 1
+    for round_number, downloads in header_rounds.items():
+        response = response + cost_model.header_download(trace.header_bytes).scaled(downloads)
+    for round_number, files in per_round.items():
+        response = response + cost_model.pir_round(files, file_sizes)
+    return response
+
+
+class Scheme(abc.ABC):
+    """Base class of all query-processing schemes."""
+
+    #: Short name used in reports ("CI", "PI", "HY", "PI*", "LM", "AF").
+    name: str = "scheme"
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        database: Database,
+        plan: QueryPlan,
+        spec: SystemSpec = DEFAULT_SPEC,
+        enforce_scp_limits: bool = False,
+        dummy_seed: int = 0,
+    ) -> None:
+        self.network = network
+        self.database = database
+        self.plan = plan
+        self.spec = spec
+        self.cost_model = CostModel(spec)
+        self.pir = UsablePirSimulator(
+            database,
+            scp=SecureCoprocessor(spec),
+            spec=spec,
+            enforce_limits=enforce_scp_limits,
+        )
+        self._dummy_rng = random.Random(dummy_seed)
+
+    # ------------------------------------------------------------------ #
+    # common helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def storage_bytes(self) -> int:
+        return self.database.total_size_bytes
+
+    @property
+    def storage_mb(self) -> float:
+        return self.database.total_size_mb
+
+    def new_round_manager(self, trace: AccessTrace) -> RoundManager:
+        return RoundManager(self.pir, trace, self._dummy_rng)
+
+    def exceeds_pir_file_limit(self) -> bool:
+        """True when any PIR-accessible file exceeds the interface's maximum size."""
+        scp = SecureCoprocessor(self.spec)
+        return any(not scp.supports_file(f) for f in self.database.files())
+
+    def finish_query(
+        self,
+        path: Path,
+        trace: AccessTrace,
+        client_seconds: float,
+        check_plan: bool = True,
+    ) -> QueryResult:
+        if check_plan:
+            verify_plan_conformance(trace, self.plan)
+        response = response_time_from_trace(trace, self.database, self.cost_model, client_seconds)
+        return QueryResult(path=path, response=response, trace=trace, client_seconds=client_seconds)
+
+    # ------------------------------------------------------------------ #
+    # abstract interface
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def query(self, source: NodeId, target: NodeId) -> QueryResult:
+        """Answer a shortest-path query from ``source`` to ``target``."""
+
+    def query_by_coordinates(
+        self, source_xy: Tuple[float, float], target_xy: Tuple[float, float]
+    ) -> QueryResult:
+        """Answer a query given Euclidean coordinates (snapped to the closest nodes)."""
+        source = self.network.nearest_node(*source_xy)
+        target = self.network.nearest_node(*target_xy)
+        return self.query(source, target)
+
+
+class Timer:
+    """Tiny helper to accumulate client-side computation time."""
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.seconds += time.perf_counter() - self._start

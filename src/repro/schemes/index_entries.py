@@ -1,0 +1,415 @@
+"""Network index file (``Fi``) entries: layout, fragmentation and compression.
+
+The network index stores, for every ordered region pair ``(i, j)``, either the
+region set ``S_ij`` (CI, and the un-replaced pairs of HY) or the passage
+subgraph ``G_ij`` (PI, PI*, and the replaced pairs of HY).  Entries are placed
+in ascending ``(i, j)`` order and never straddle a page unnecessarily
+(Section 5.3); entries larger than a page start on a fresh page and are split
+into raw fragments so every fragment fits a page.
+
+In-page compression (Sections 5.5 and 6) stores an entry as a *delta* against
+the already-placed entry of the same page with the largest overlap.  Region-set
+deltas may also carry *exclusions* so the inflated set never exceeds the plan
+value ``m``; subgraph deltas only carry additions (extra edges are harmless).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..exceptions import SchemeError, StorageError
+from ..storage import Page, PageFile, RecordReader, RecordWriter
+
+RegionPair = Tuple[int, int]
+WeightedEdge = Tuple[int, int, float]
+
+KIND_REGION_RAW = 0
+KIND_REGION_DELTA = 1
+KIND_SUBGRAPH_RAW = 2
+KIND_SUBGRAPH_DELTA = 3
+
+_REGION_KINDS = (KIND_REGION_RAW, KIND_REGION_DELTA)
+_SUBGRAPH_KINDS = (KIND_SUBGRAPH_RAW, KIND_SUBGRAPH_DELTA)
+
+
+def _float32(value: float) -> float:
+    """Round-trip a float through 32-bit precision (the on-disk representation)."""
+    return struct.unpack("<f", struct.pack("<f", value))[0]
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """A decoded network-index entry as seen by the querying client."""
+
+    key: RegionPair
+    #: Effective region set (possibly inflated by compression); ``None`` for subgraphs.
+    regions: Optional[FrozenSet[int]]
+    #: Effective edge set (possibly inflated by compression); ``None`` for region sets.
+    edges: Optional[FrozenSet[WeightedEdge]]
+
+    @property
+    def is_region_set(self) -> bool:
+        return self.regions is not None
+
+
+@dataclass
+class _PlacedEntry:
+    """Builder-side record of an entry placed in the page currently being filled."""
+
+    key: RegionPair
+    kind: int
+    effective_regions: Optional[FrozenSet[int]]
+    effective_edges: Optional[FrozenSet[WeightedEdge]]
+    is_fragment: bool
+
+
+@dataclass
+class EntryLocation:
+    """Where a pair's entry lives in the index file."""
+
+    start_page: int
+    page_span: int
+
+
+class IndexFileBuilder:
+    """Builds the network index file page by page."""
+
+    def __init__(
+        self,
+        page_file: PageFile,
+        compress: bool = True,
+        max_region_set_size: Optional[int] = None,
+    ) -> None:
+        self.page_file = page_file
+        self.compress = compress
+        self.max_region_set_size = max_region_set_size
+        self.locations: Dict[RegionPair, EntryLocation] = {}
+        self._current_page: Optional[Page] = None
+        self._current_entries: List[_PlacedEntry] = []
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def add_region_set(self, i: int, j: int, regions: Iterable[int]) -> None:
+        """Place the region set ``S_ij``."""
+        self._add_entry((i, j), frozenset(int(r) for r in regions), None)
+
+    def add_subgraph(self, i: int, j: int, edges: Iterable[WeightedEdge]) -> None:
+        """Place the passage subgraph ``G_ij`` (edges carry their weights)."""
+        normalized = frozenset((int(u), int(v), _float32(w)) for u, v, w in edges)
+        self._add_entry((i, j), None, normalized)
+
+    @property
+    def max_page_span(self) -> int:
+        """The largest number of pages spanned by any entry placed so far."""
+        if not self.locations:
+            return 1
+        return max(location.page_span for location in self.locations.values())
+
+    def location_of(self, key: RegionPair) -> EntryLocation:
+        try:
+            return self.locations[key]
+        except KeyError:
+            raise SchemeError(f"no index entry was placed for region pair {key}") from None
+
+    # ------------------------------------------------------------------ #
+    # placement
+    # ------------------------------------------------------------------ #
+    def _add_entry(
+        self,
+        key: RegionPair,
+        regions: Optional[FrozenSet[int]],
+        edges: Optional[FrozenSet[WeightedEdge]],
+    ) -> None:
+        if key in self.locations:
+            raise SchemeError(f"region pair {key} was placed twice in the index file")
+        capacity = self.page_file.page_size
+
+        raw_bytes = _encode_raw(key, regions, edges)
+        framed_raw = _frame(raw_bytes)
+
+        if len(framed_raw) > capacity:
+            self._place_fragmented(key, regions, edges)
+            return
+
+        best = framed_raw
+        best_effective_regions, best_effective_edges = regions, edges
+        if self.compress and self._current_page is not None:
+            delta = self._best_delta(key, regions, edges)
+            if delta is not None and len(delta[0]) < len(framed_raw):
+                best, best_effective_regions, best_effective_edges = delta
+
+        if self._current_page is None or not self._current_page.fits(best):
+            # no straddling: close the page and start a new one; a fresh page has
+            # no reference candidates, so fall back to the raw encoding
+            self._start_new_page()
+            best = framed_raw
+            best_effective_regions, best_effective_edges = regions, edges
+
+        self._current_page.append(best)
+        page_number = self.page_file.num_pages - 1
+        self.locations[key] = EntryLocation(start_page=page_number, page_span=1)
+        self._current_entries.append(
+            _PlacedEntry(
+                key=key,
+                kind=KIND_REGION_RAW if regions is not None else KIND_SUBGRAPH_RAW,
+                effective_regions=best_effective_regions,
+                effective_edges=best_effective_edges,
+                is_fragment=False,
+            )
+        )
+
+    def _place_fragmented(
+        self,
+        key: RegionPair,
+        regions: Optional[FrozenSet[int]],
+        edges: Optional[FrozenSet[WeightedEdge]],
+    ) -> None:
+        """Split an oversized entry into raw fragments starting on a fresh page."""
+        self._start_new_page()
+        start_page = self.page_file.num_pages - 1
+        elements: List = sorted(regions) if regions is not None else sorted(edges)
+        is_region = regions is not None
+        position = 0
+        while position < len(elements):
+            chunk: List = []
+            while position < len(elements):
+                candidate = chunk + [elements[position]]
+                encoded = _encode_raw(
+                    key,
+                    frozenset(candidate) if is_region else None,
+                    None if is_region else frozenset(candidate),
+                )
+                if len(_frame(encoded)) > self._current_page.free_bytes:
+                    break
+                chunk = candidate
+                position += 1
+            if not chunk:
+                # current page cannot take even one element: move to a fresh page
+                self._start_new_page()
+                continue
+            encoded = _encode_raw(
+                key,
+                frozenset(chunk) if is_region else None,
+                None if is_region else frozenset(chunk),
+            )
+            self._current_page.append(_frame(encoded))
+            self._current_entries.append(
+                _PlacedEntry(
+                    key=key,
+                    kind=KIND_REGION_RAW if is_region else KIND_SUBGRAPH_RAW,
+                    effective_regions=frozenset(chunk) if is_region else None,
+                    effective_edges=None if is_region else frozenset(chunk),
+                    is_fragment=True,
+                )
+            )
+            if position < len(elements):
+                self._start_new_page()
+        end_page = self.page_file.num_pages - 1
+        self.locations[key] = EntryLocation(
+            start_page=start_page, page_span=end_page - start_page + 1
+        )
+
+    def _start_new_page(self) -> None:
+        if self._current_page is not None and self._current_page.used_bytes == 0:
+            # the current page is still empty: reuse it instead of wasting it
+            self._current_entries = []
+            return
+        self._current_page = self.page_file.new_page()
+        self._current_entries = []
+
+    # ------------------------------------------------------------------ #
+    # compression
+    # ------------------------------------------------------------------ #
+    def _best_delta(
+        self,
+        key: RegionPair,
+        regions: Optional[FrozenSet[int]],
+        edges: Optional[FrozenSet[WeightedEdge]],
+    ):
+        """The smallest delta encoding against a reference in the current page, if any."""
+        best_tuple = None
+        best_size = None
+        for position, placed in enumerate(self._current_entries):
+            if placed.is_fragment:
+                continue
+            if regions is not None and placed.effective_regions is not None:
+                encoded, effective = self._encode_region_delta(
+                    key, regions, placed.effective_regions, position
+                )
+                if encoded is None:
+                    continue
+                framed = _frame(encoded)
+                if best_size is None or len(framed) < best_size:
+                    best_size = len(framed)
+                    best_tuple = (framed, effective, None)
+            elif edges is not None and placed.effective_edges is not None:
+                reference = placed.effective_edges
+                additions = edges - reference
+                if len(additions) >= len(edges):
+                    continue
+                writer = RecordWriter()
+                writer.uint32(key[0]).uint32(key[1]).raw(bytes([KIND_SUBGRAPH_DELTA]))
+                writer.varint(position)
+                writer.varint(len(additions))
+                for u, v, w in sorted(additions):
+                    writer.uint32(u).uint32(v).float32(w)
+                framed = _frame(writer.getvalue())
+                if best_size is None or len(framed) < best_size:
+                    best_size = len(framed)
+                    best_tuple = (framed, None, frozenset(reference | additions))
+        if best_tuple is None:
+            return None
+        framed, effective_regions, effective_edges = best_tuple
+        return framed, effective_regions, effective_edges
+
+    def _encode_region_delta(
+        self,
+        key: RegionPair,
+        regions: FrozenSet[int],
+        reference: FrozenSet[int],
+        position: int,
+    ):
+        additions = regions - reference
+        inflated = reference | regions
+        exclusions: FrozenSet[int] = frozenset()
+        if self.max_region_set_size is not None and len(inflated) > self.max_region_set_size:
+            surplus = len(inflated) - self.max_region_set_size
+            removable = sorted(reference - regions)
+            if len(removable) < surplus:
+                return None, None
+            exclusions = frozenset(removable[:surplus])
+        effective = inflated - exclusions
+        writer = RecordWriter()
+        writer.uint32(key[0]).uint32(key[1]).raw(bytes([KIND_REGION_DELTA]))
+        writer.varint(position)
+        writer.uint32_list(sorted(additions))
+        writer.uint32_list(sorted(exclusions))
+        return writer.getvalue(), frozenset(effective)
+
+
+# ---------------------------------------------------------------------- #
+# encoding helpers
+# ---------------------------------------------------------------------- #
+def _encode_raw(
+    key: RegionPair,
+    regions: Optional[FrozenSet[int]],
+    edges: Optional[FrozenSet[WeightedEdge]],
+) -> bytes:
+    writer = RecordWriter()
+    if regions is not None:
+        writer.uint32(key[0]).uint32(key[1]).raw(bytes([KIND_REGION_RAW]))
+        writer.uint32_list(sorted(regions))
+    elif edges is not None:
+        writer.uint32(key[0]).uint32(key[1]).raw(bytes([KIND_SUBGRAPH_RAW]))
+        writer.varint(len(edges))
+        for u, v, w in sorted(edges):
+            writer.uint32(u).uint32(v).float32(w)
+    else:
+        raise SchemeError("an index entry must carry either regions or edges")
+    return writer.getvalue()
+
+
+def _frame(entry_bytes: bytes) -> bytes:
+    """Prefix an entry with its length (zero-length marks page padding)."""
+    writer = RecordWriter()
+    writer.varint(len(entry_bytes))
+    writer.raw(entry_bytes)
+    return writer.getvalue()
+
+
+# ---------------------------------------------------------------------- #
+# decoding (client side)
+# ---------------------------------------------------------------------- #
+@dataclass
+class _RawDecodedEntry:
+    key: RegionPair
+    kind: int
+    reference_position: Optional[int]
+    regions: Optional[List[int]]
+    exclusions: Optional[List[int]]
+    edges: Optional[List[WeightedEdge]]
+
+
+def _decode_page_entries(page_bytes: bytes) -> List[_RawDecodedEntry]:
+    reader = RecordReader(page_bytes)
+    entries: List[_RawDecodedEntry] = []
+    while reader.remaining() > 0:
+        length = reader.varint()
+        if length == 0:
+            break
+        body = RecordReader(reader.raw(length))
+        i = body.uint32()
+        j = body.uint32()
+        kind = body.raw(1)[0]
+        reference_position: Optional[int] = None
+        regions: Optional[List[int]] = None
+        exclusions: Optional[List[int]] = None
+        edges: Optional[List[WeightedEdge]] = None
+        if kind == KIND_REGION_RAW:
+            regions = body.uint32_list()
+        elif kind == KIND_REGION_DELTA:
+            reference_position = body.varint()
+            regions = body.uint32_list()
+            exclusions = body.uint32_list()
+        elif kind == KIND_SUBGRAPH_RAW:
+            count = body.varint()
+            edges = [(body.uint32(), body.uint32(), body.float32()) for _ in range(count)]
+        elif kind == KIND_SUBGRAPH_DELTA:
+            reference_position = body.varint()
+            count = body.varint()
+            edges = [(body.uint32(), body.uint32(), body.float32()) for _ in range(count)]
+        else:
+            raise StorageError(f"unknown index entry kind {kind}")
+        entries.append(_RawDecodedEntry((i, j), kind, reference_position, regions, exclusions, edges))
+    return entries
+
+
+def _resolve_page(entries: List[_RawDecodedEntry]) -> List[IndexEntry]:
+    """Resolve delta references within a single page."""
+    resolved: List[IndexEntry] = []
+    for position, entry in enumerate(entries):
+        if entry.kind == KIND_REGION_RAW:
+            resolved.append(IndexEntry(entry.key, frozenset(entry.regions), None))
+        elif entry.kind == KIND_REGION_DELTA:
+            reference = resolved[entry.reference_position]
+            if reference.regions is None:
+                raise StorageError("region-set delta references a subgraph entry")
+            effective = (reference.regions | set(entry.regions)) - set(entry.exclusions)
+            resolved.append(IndexEntry(entry.key, frozenset(effective), None))
+        elif entry.kind == KIND_SUBGRAPH_RAW:
+            resolved.append(IndexEntry(entry.key, None, frozenset(entry.edges)))
+        else:  # KIND_SUBGRAPH_DELTA
+            reference = resolved[entry.reference_position]
+            if reference.edges is None:
+                raise StorageError("subgraph delta references a region-set entry")
+            effective = reference.edges | set(entry.edges)
+            resolved.append(IndexEntry(entry.key, None, frozenset(effective)))
+    return resolved
+
+
+def decode_index_entry(pages: Sequence[bytes], key: RegionPair) -> Optional[IndexEntry]:
+    """Extract (and merge, if fragmented) the entry for ``key`` from fetched pages."""
+    regions: set = set()
+    edges: set = set()
+    found_regions = False
+    found_edges = False
+    for page_bytes in pages:
+        raw_entries = _decode_page_entries(page_bytes)
+        resolved = _resolve_page(raw_entries)
+        for entry in resolved:
+            if entry.key != key:
+                continue
+            if entry.regions is not None:
+                regions |= entry.regions
+                found_regions = True
+            if entry.edges is not None:
+                edges |= entry.edges
+                found_edges = True
+    if found_regions:
+        return IndexEntry(key, frozenset(regions), None)
+    if found_edges:
+        return IndexEntry(key, None, frozenset(edges))
+    return None

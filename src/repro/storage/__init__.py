@@ -1,0 +1,56 @@
+"""Paged storage substrate: pages, record codecs, page files and databases."""
+
+from .compression import (
+    compression_ratio,
+    delta_decode_ids,
+    delta_encode_ids,
+    dequantize_weights,
+    quantize_weights,
+    zigzag_decode,
+    zigzag_encode,
+)
+from .database import Database
+from .page import DEFAULT_PAGE_SIZE, Page
+from .pagefile import PageFile
+from .persist import databases_equal, load_database, save_database
+from .record import (
+    RecordReader,
+    RecordWriter,
+    decode_float32,
+    decode_float64,
+    decode_uint32,
+    decode_varint,
+    encode_float32,
+    encode_float64,
+    encode_uint16,
+    encode_uint32,
+    encode_varint,
+)
+
+__all__ = [
+    "DEFAULT_PAGE_SIZE",
+    "Database",
+    "Page",
+    "PageFile",
+    "RecordReader",
+    "RecordWriter",
+    "compression_ratio",
+    "databases_equal",
+    "decode_float32",
+    "decode_float64",
+    "decode_uint32",
+    "decode_varint",
+    "delta_decode_ids",
+    "delta_encode_ids",
+    "dequantize_weights",
+    "encode_float32",
+    "encode_float64",
+    "encode_uint16",
+    "encode_uint32",
+    "encode_varint",
+    "load_database",
+    "quantize_weights",
+    "save_database",
+    "zigzag_decode",
+    "zigzag_encode",
+]

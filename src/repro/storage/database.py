@@ -1,0 +1,85 @@
+"""The LBS-hosted database: a named collection of page files plus a header.
+
+The header file ``Fh`` is special — it is small, needed by every querying
+client, and therefore downloaded in full *without* the PIR interface (see the
+paper, Section 5.3).  It is represented separately from the page files so the
+distinction is explicit in the code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from ..exceptions import StorageError
+from .page import DEFAULT_PAGE_SIZE
+from .pagefile import PageFile
+
+
+class Database:
+    """A collection of page files exposed to the PIR interface, plus a header."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        self.page_size = page_size
+        self._files: Dict[str, PageFile] = {}
+        self._header: bytes = b""
+
+    # ------------------------------------------------------------------ #
+    # header (downloaded directly, not via PIR)
+    # ------------------------------------------------------------------ #
+    def set_header(self, data: bytes) -> None:
+        self._header = bytes(data)
+
+    @property
+    def header(self) -> bytes:
+        return self._header
+
+    @property
+    def header_size_bytes(self) -> int:
+        return len(self._header)
+
+    # ------------------------------------------------------------------ #
+    # page files (accessed only through the PIR interface during queries)
+    # ------------------------------------------------------------------ #
+    def create_file(self, name: str) -> PageFile:
+        if name in self._files:
+            raise StorageError(f"file {name!r} already exists")
+        page_file = PageFile(name, self.page_size)
+        self._files[name] = page_file
+        return page_file
+
+    def add_file(self, page_file: PageFile) -> None:
+        if page_file.name in self._files:
+            raise StorageError(f"file {page_file.name!r} already exists")
+        if page_file.page_size != self.page_size:
+            raise StorageError("page size mismatch between file and database")
+        self._files[page_file.name] = page_file
+
+    def file(self, name: str) -> PageFile:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise StorageError(f"unknown file {name!r}") from None
+
+    def has_file(self, name: str) -> bool:
+        return name in self._files
+
+    def file_names(self) -> Iterator[str]:
+        return iter(self._files.keys())
+
+    def files(self) -> Iterator[PageFile]:
+        return iter(self._files.values())
+
+    @property
+    def total_size_bytes(self) -> int:
+        """Total database size including the header."""
+        return self.header_size_bytes + sum(f.size_bytes for f in self._files.values())
+
+    @property
+    def total_size_mb(self) -> float:
+        return self.total_size_bytes / (1024.0 * 1024.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        files = ", ".join(
+            f"{name}:{page_file.num_pages}p" for name, page_file in self._files.items()
+        )
+        return f"Database(header={self.header_size_bytes}B, files=[{files}])"

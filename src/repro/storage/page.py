@@ -1,0 +1,80 @@
+"""Fixed-size disk pages.
+
+All scheme files (``Fd``, ``Fi``, ``Fl``) are built from fixed-size pages so
+that the storage-space and page-utilization numbers reported by the benchmark
+harness are byte-exact, and so that the PIR layer can retrieve data at page
+granularity exactly as the paper's architecture prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..exceptions import PageOverflowError
+
+#: Default disk page size from Table 2 of the paper (4 KByte).
+DEFAULT_PAGE_SIZE = 4096
+
+
+class Page:
+    """A single fixed-size disk page with append-only writes."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        if page_size <= 0:
+            raise ValueError("page size must be positive")
+        self.page_size = page_size
+        self._buffer = bytearray()
+
+    @property
+    def used_bytes(self) -> int:
+        """Number of payload bytes written so far."""
+        return len(self._buffer)
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes still available in the page."""
+        return self.page_size - len(self._buffer)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the page occupied by payload (0.0–1.0)."""
+        return self.used_bytes / self.page_size
+
+    def fits(self, data: bytes) -> bool:
+        """True when ``data`` can still be appended to this page."""
+        return len(data) <= self.free_bytes
+
+    def append(self, data: bytes) -> int:
+        """Append ``data`` and return the offset at which it was written."""
+        if not self.fits(data):
+            raise PageOverflowError(
+                f"record of {len(data)} bytes does not fit in page with "
+                f"{self.free_bytes} free bytes"
+            )
+        offset = len(self._buffer)
+        self._buffer.extend(data)
+        return offset
+
+    def payload(self) -> bytes:
+        """The payload bytes written so far (without padding)."""
+        return bytes(self._buffer)
+
+    def to_bytes(self) -> bytes:
+        """The full page image, zero-padded to ``page_size`` bytes."""
+        return bytes(self._buffer) + b"\x00" * self.free_bytes
+
+    @classmethod
+    def from_bytes(cls, data: bytes, page_size: Optional[int] = None) -> "Page":
+        """Rebuild a page from a page image (padding is preserved as payload)."""
+        size = page_size if page_size is not None else len(data)
+        if len(data) > size:
+            raise PageOverflowError(f"page image of {len(data)} bytes exceeds page size {size}")
+        page = cls(size)
+        page._buffer = bytearray(data)
+        return page
+
+    def __len__(self) -> int:
+        return self.page_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Page(used={self.used_bytes}/{self.page_size})"

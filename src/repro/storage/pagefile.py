@@ -1,0 +1,113 @@
+"""Page files: named, page-granular files hosted by the LBS.
+
+The paper's database consists of a small number of files (header ``Fh``,
+look-up ``Fl``, network index ``Fi``, region data ``Fd``); each of them is a
+:class:`PageFile` here.  Page files are stored in memory (the paper notes that
+its framework applies equally to disk, SSD or RAM storage) but provide exact
+byte accounting, which is what the evaluation measures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from ..exceptions import StorageError
+from .page import DEFAULT_PAGE_SIZE, Page
+
+
+class PageFile:
+    """A named sequence of fixed-size pages."""
+
+    def __init__(self, name: str, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        if not name:
+            raise StorageError("a page file needs a non-empty name")
+        self.name = name
+        self.page_size = page_size
+        self._pages: List[Page] = []
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def new_page(self) -> Page:
+        """Append and return a fresh, empty page."""
+        page = Page(self.page_size)
+        self._pages.append(page)
+        return page
+
+    def append_page(self, page: Page) -> int:
+        """Append an existing page; returns its page number."""
+        if page.page_size != self.page_size:
+            raise StorageError(
+                f"page size {page.page_size} does not match file page size {self.page_size}"
+            )
+        self._pages.append(page)
+        return len(self._pages) - 1
+
+    def append_record_packed(self, data: bytes) -> int:
+        """Append a record into the last page if it fits, else into a new page.
+
+        Returns the page number holding the record.  Records larger than a
+        page are rejected — callers that need multi-page records handle the
+        spanning themselves (the ``Fi`` builders do).
+        """
+        if len(data) > self.page_size:
+            raise StorageError(
+                f"record of {len(data)} bytes exceeds the page size {self.page_size}"
+            )
+        if not self._pages or not self._pages[-1].fits(data):
+            self.new_page()
+        self._pages[-1].append(data)
+        return len(self._pages) - 1
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+    @property
+    def num_pages(self) -> int:
+        return len(self._pages)
+
+    @property
+    def size_bytes(self) -> int:
+        """Physical file size (pages are padded to the page size)."""
+        return self.num_pages * self.page_size
+
+    @property
+    def payload_bytes(self) -> int:
+        """Total payload bytes across all pages."""
+        return sum(page.used_bytes for page in self._pages)
+
+    @property
+    def utilization(self) -> float:
+        """Average fraction of each page occupied by payload."""
+        if not self._pages:
+            return 0.0
+        return self.payload_bytes / self.size_bytes
+
+    def page(self, page_number: int) -> Page:
+        """The page object at ``page_number`` (0-based)."""
+        if page_number < 0 or page_number >= len(self._pages):
+            raise StorageError(
+                f"page {page_number} out of range for file {self.name!r} "
+                f"with {len(self._pages)} pages"
+            )
+        return self._pages[page_number]
+
+    def read_page(self, page_number: int) -> bytes:
+        """The padded page image at ``page_number``."""
+        return self.page(page_number).to_bytes()
+
+    def pages(self) -> Iterator[Page]:
+        return iter(self._pages)
+
+    def to_bytes(self) -> bytes:
+        """The whole file image."""
+        return b"".join(page.to_bytes() for page in self._pages)
+
+    def __len__(self) -> int:
+        return self.num_pages
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PageFile(name={self.name!r}, pages={self.num_pages}, "
+            f"size={self.size_bytes} bytes)"
+        )

@@ -1,0 +1,143 @@
+"""Disk persistence for LBS databases.
+
+The schemes in this package build their databases in memory (which is all the
+paper's evaluation needs), but a deployable LBS stores them on disk and keeps
+serving them across restarts.  This module writes a :class:`Database` to a
+directory and loads it back bit-exactly:
+
+* every page file becomes ``<name>.pages`` — the concatenation of its padded
+  page images, exactly what would sit on the LBS's disk;
+* the header file becomes ``header.bin``;
+* ``manifest.json`` records the page size, the per-file page counts, the
+  per-page payload sizes (so utilization accounting survives the round trip)
+  and SHA-256 checksums that :func:`load_database` verifies on load.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..exceptions import StorageError
+from .database import Database
+from .page import Page
+from .pagefile import PageFile
+
+#: Name of the manifest written alongside the page files.
+MANIFEST_NAME = "manifest.json"
+#: Name of the header image.
+HEADER_NAME = "header.bin"
+#: Manifest format version (bumped on incompatible layout changes).
+MANIFEST_VERSION = 1
+
+
+def _checksum(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def save_database(database: Database, directory: Union[str, Path]) -> Path:
+    """Write ``database`` to ``directory``; returns the manifest path.
+
+    The directory is created if needed.  Existing files of a previous save are
+    overwritten; unrelated files are left alone.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    manifest: Dict[str, object] = {
+        "version": MANIFEST_VERSION,
+        "page_size": database.page_size,
+        "header": {
+            "file": HEADER_NAME,
+            "bytes": database.header_size_bytes,
+            "sha256": _checksum(database.header),
+        },
+        "files": {},
+    }
+    (directory / HEADER_NAME).write_bytes(database.header)
+
+    for page_file in database.files():
+        image = page_file.to_bytes()
+        file_name = f"{page_file.name}.pages"
+        (directory / file_name).write_bytes(image)
+        manifest["files"][page_file.name] = {
+            "file": file_name,
+            "num_pages": page_file.num_pages,
+            "used_bytes": [page.used_bytes for page in page_file.pages()],
+            "sha256": _checksum(image),
+        }
+
+    manifest_path = directory / MANIFEST_NAME
+    manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8")
+    return manifest_path
+
+
+def load_database(directory: Union[str, Path], verify: bool = True) -> Database:
+    """Load a database previously written by :func:`save_database`.
+
+    ``verify=True`` (the default) checks every SHA-256 recorded in the
+    manifest and raises :class:`StorageError` on any mismatch.
+    """
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise StorageError(f"no database manifest found in {directory}")
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise StorageError(f"corrupt database manifest: {error}") from error
+    if manifest.get("version") != MANIFEST_VERSION:
+        raise StorageError(
+            f"unsupported manifest version {manifest.get('version')!r} "
+            f"(expected {MANIFEST_VERSION})"
+        )
+
+    page_size = int(manifest["page_size"])
+    database = Database(page_size)
+
+    header_info = manifest["header"]
+    header = (directory / header_info["file"]).read_bytes()
+    if verify and _checksum(header) != header_info["sha256"]:
+        raise StorageError("header checksum mismatch; the database files were modified")
+    database.set_header(header)
+
+    for name, info in sorted(manifest["files"].items()):
+        image_path = directory / info["file"]
+        if not image_path.exists():
+            raise StorageError(f"missing page file image {info['file']!r}")
+        image = image_path.read_bytes()
+        if verify and _checksum(image) != info["sha256"]:
+            raise StorageError(f"checksum mismatch for page file {name!r}")
+        expected_bytes = int(info["num_pages"]) * page_size
+        if len(image) != expected_bytes:
+            raise StorageError(
+                f"page file {name!r} has {len(image)} bytes, expected {expected_bytes}"
+            )
+        used_bytes: List[int] = [int(value) for value in info["used_bytes"]]
+        if len(used_bytes) != int(info["num_pages"]):
+            raise StorageError(f"manifest for {name!r} lists the wrong number of pages")
+        page_file = PageFile(name, page_size)
+        for page_number, used in enumerate(used_bytes):
+            start = page_number * page_size
+            payload = image[start:start + used]
+            page_file.append_page(Page.from_bytes(payload, page_size))
+        database.add_file(page_file)
+    return database
+
+
+def databases_equal(first: Database, second: Database) -> bool:
+    """True when two databases are bit-for-bit identical (header, files, pages)."""
+    if first.page_size != second.page_size or first.header != second.header:
+        return False
+    if set(first.file_names()) != set(second.file_names()):
+        return False
+    for name in first.file_names():
+        file_a, file_b = first.file(name), second.file(name)
+        if file_a.num_pages != file_b.num_pages:
+            return False
+        for page_a, page_b in zip(file_a.pages(), file_b.pages()):
+            if page_a.used_bytes != page_b.used_bytes or page_a.payload() != page_b.payload():
+                return False
+    return True

@@ -1,0 +1,37 @@
+"""Tests for the extension (ablation) experiment functions."""
+
+import pytest
+
+from repro.bench import (
+    ablation_oram_mechanism,
+    ablation_region_compression,
+    section4_full_materialization,
+)
+
+
+class TestOramAblation:
+    def test_rows_and_online_advantage(self):
+        rows = ablation_oram_mechanism(num_blocks_values=(16, 49), accesses=10)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["online_per_access"] < row["trivial_scan_per_access"]
+            assert row["amortized_per_access"] >= row["online_per_access"]
+            assert row["simulated_pir_s_per_page"] > 0
+
+
+class TestRegionCompressionAblation:
+    def test_single_dataset(self):
+        rows = ablation_region_compression(datasets=("oldenburg",))
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["compact_kb"] < row["standard_kb"]
+        assert row["regions"] > 1
+
+
+class TestFullMaterializationExperiment:
+    def test_oldenburg_paper_scale_exceeds_limit(self):
+        rows = section4_full_materialization(datasets=("oldenburg",))
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["paper_scale_times_over_limit"] > 1.0
+        assert row["paper_scale_gib"] > row["total_gib"]

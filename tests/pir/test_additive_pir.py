@@ -1,0 +1,56 @@
+"""Tests for the single-server computational (Paillier-based) PIR."""
+
+import random
+
+import pytest
+
+from repro.exceptions import PirError
+from repro.pir import AdditivePirClient, generate_keypair
+
+
+@pytest.fixture(scope="module")
+def shared_keypair():
+    """One keypair for the whole module (key generation is the slow part)."""
+    return generate_keypair(bits=256)
+
+
+def make_blocks(count, size, seed=0):
+    rng = random.Random(seed)
+    return [bytes(rng.randrange(256) for _ in range(size)) for _ in range(count)]
+
+
+class TestAdditivePir:
+    def test_retrieves_every_block(self, shared_keypair):
+        blocks = make_blocks(5, 24)
+        client = AdditivePirClient(blocks, chunk_bytes=16, keypair=shared_keypair)
+        for index, block in enumerate(blocks):
+            assert client.retrieve(index) == block
+
+    def test_block_size_not_multiple_of_chunk(self, shared_keypair):
+        blocks = make_blocks(3, 23)
+        client = AdditivePirClient(blocks, chunk_bytes=8, keypair=shared_keypair)
+        assert client.retrieve(1) == blocks[1]
+
+    def test_out_of_range_rejected(self, shared_keypair):
+        client = AdditivePirClient(make_blocks(3, 16), chunk_bytes=8, keypair=shared_keypair)
+        with pytest.raises(PirError):
+            client.retrieve(3)
+
+    def test_chunk_too_large_for_key_rejected(self, shared_keypair):
+        with pytest.raises(PirError):
+            AdditivePirClient(make_blocks(2, 64), chunk_bytes=64, keypair=shared_keypair)
+
+    def test_server_sees_only_ciphertexts(self, shared_keypair):
+        """The selection vector visible to the server consists of Paillier
+        ciphertexts; the server cannot read the selected index from them
+        directly (they are all large integers in the same range)."""
+        blocks = make_blocks(4, 16)
+        client = AdditivePirClient(blocks, chunk_bytes=8, keypair=shared_keypair)
+        client.retrieve(2)
+        query = client.server.queries_seen[-1]
+        assert len(query) == 4
+        n_squared = client.public_key.n_squared
+        assert all(0 < ciphertext < n_squared for ciphertext in query)
+        # ciphertexts of 0 and 1 are indistinguishable without the secret key:
+        # in particular they are all distinct values, not a plaintext 0/1 pattern
+        assert len(set(query)) == len(query)

@@ -1,0 +1,64 @@
+"""Tests for the Paillier cryptosystem used by the computational PIR."""
+
+import pytest
+
+from repro.exceptions import PirError
+from repro.pir import generate_keypair, generate_prime
+from repro.pir.paillier import _is_probable_prime
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(bits=256)
+
+
+class TestPrimeGeneration:
+    def test_known_primes(self):
+        for prime in (2, 3, 5, 7, 97, 104729):
+            assert _is_probable_prime(prime)
+
+    def test_known_composites(self):
+        for composite in (1, 4, 100, 561, 104730):
+            assert not _is_probable_prime(composite)
+
+    def test_generated_prime_has_requested_size(self):
+        prime = generate_prime(64)
+        assert prime.bit_length() == 64
+        assert _is_probable_prime(prime)
+
+    def test_too_small_request_rejected(self):
+        with pytest.raises(PirError):
+            generate_prime(4)
+
+
+class TestPaillier:
+    def test_encrypt_decrypt_round_trip(self, keypair):
+        public, private = keypair
+        for plaintext in (0, 1, 42, 2**64, public.n - 1):
+            assert private.decrypt(public.encrypt(plaintext)) == plaintext
+
+    def test_out_of_range_plaintext_rejected(self, keypair):
+        public, _ = keypair
+        with pytest.raises(PirError):
+            public.encrypt(public.n)
+        with pytest.raises(PirError):
+            public.encrypt(-1)
+
+    def test_encryption_is_randomised(self, keypair):
+        public, _ = keypair
+        assert public.encrypt(5) != public.encrypt(5)
+
+    def test_additive_homomorphism(self, keypair):
+        public, private = keypair
+        combined = public.add(public.encrypt(20), public.encrypt(22))
+        assert private.decrypt(combined) == 42
+
+    def test_plaintext_multiplication(self, keypair):
+        public, private = keypair
+        scaled = public.multiply_plain(public.encrypt(7), 6)
+        assert private.decrypt(scaled) == 42
+
+    def test_out_of_range_ciphertext_rejected(self, keypair):
+        public, private = keypair
+        with pytest.raises(PirError):
+            private.decrypt(public.n_squared)

@@ -1,0 +1,86 @@
+"""Tests for the two-server information-theoretic XOR PIR."""
+
+import random
+
+import pytest
+
+from repro.exceptions import PirError
+from repro.pir import TwoServerXorPir, XorPirServer, xor_bytes
+
+
+def make_blocks(count=8, size=32, seed=0):
+    rng = random.Random(seed)
+    return [bytes(rng.randrange(256) for _ in range(size)) for _ in range(count)]
+
+
+class TestXorBytes:
+    def test_xor_is_its_own_inverse(self):
+        a = b"\x01\x02\x03"
+        b = b"\xff\x00\x0f"
+        assert xor_bytes(xor_bytes(a, b), b) == a
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(PirError):
+            xor_bytes(b"ab", b"abc")
+
+
+class TestXorPirServer:
+    def test_answer_is_xor_of_selected_blocks(self):
+        blocks = make_blocks(4, 8)
+        server = XorPirServer(blocks)
+        answer = server.answer({0, 2})
+        assert answer == xor_bytes(blocks[0], blocks[2])
+
+    def test_empty_subset_gives_zero_block(self):
+        blocks = make_blocks(3, 8)
+        server = XorPirServer(blocks)
+        assert server.answer(set()) == bytes(8)
+
+    def test_out_of_range_index_rejected(self):
+        server = XorPirServer(make_blocks(3, 8))
+        with pytest.raises(PirError):
+            server.answer({5})
+
+    def test_unequal_block_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            XorPirServer([b"ab", b"abc"])
+
+
+class TestTwoServerProtocol:
+    def test_retrieves_every_block_correctly(self):
+        blocks = make_blocks(16, 64)
+        pir = TwoServerXorPir(blocks)
+        for index, block in enumerate(blocks):
+            assert pir.retrieve(index) == block
+
+    def test_repeated_retrievals_consistent(self):
+        blocks = make_blocks(6, 16)
+        pir = TwoServerXorPir(blocks)
+        for _ in range(5):
+            assert pir.retrieve(3) == blocks[3]
+
+    def test_out_of_range_rejected(self):
+        pir = TwoServerXorPir(make_blocks(4, 8))
+        with pytest.raises(PirError):
+            pir.retrieve(4)
+        with pytest.raises(PirError):
+            pir.retrieve(-1)
+
+    def test_single_server_view_does_not_determine_index(self):
+        """Each individual server sees a uniformly random subset: repeating the
+        same retrieval produces different queries, and the distribution of
+        subset sizes does not depend on which block is fetched."""
+        blocks = make_blocks(8, 8)
+        pir = TwoServerXorPir(blocks)
+        for _ in range(30):
+            pir.retrieve(2)
+        queries = pir.server_a.queries_seen
+        assert len(set(queries)) > 1, "server A should not see a constant query"
+        # the retrieved index 2 appears in roughly half the random subsets,
+        # exactly as any other index does
+        containing = sum(1 for query in queries if 2 in query)
+        assert 0 < containing < len(queries)
+
+    def test_num_blocks_property(self):
+        pir = TwoServerXorPir(make_blocks(5, 8))
+        assert pir.num_blocks == 5

@@ -1,0 +1,63 @@
+"""Tests for the privacy model helpers (Theorem 1 as executable checks)."""
+
+from repro.pir import AdversaryEvent, AdversaryView
+from repro.privacy import adversary_transcript, check_indistinguishability, views_identical
+from repro.schemes import QueryPlan, RoundSpec
+
+
+def view(*file_names):
+    events = [AdversaryEvent(1, "header", "")]
+    events.extend(AdversaryEvent(2, "pir", name) for name in file_names)
+    return AdversaryView(tuple(events))
+
+
+class TestViewsIdentical:
+    def test_empty_and_singleton(self):
+        assert views_identical([])
+        assert views_identical([view("data")])
+
+    def test_identical_views(self):
+        assert views_identical([view("data", "data"), view("data", "data")])
+
+    def test_different_views(self):
+        assert not views_identical([view("data"), view("index")])
+
+
+class TestCheckIndistinguishability:
+    class _FakeResult:
+        def __init__(self, adversary_view):
+            self.adversary_view = adversary_view
+
+    def test_conforming_results(self):
+        plan = QueryPlan.from_rounds(
+            [RoundSpec(includes_header=True), RoundSpec(fetches=(("data", 2),))]
+        )
+        conforming = plan.expected_adversary_view()
+        results = [self._FakeResult(conforming) for _ in range(3)]
+        report = check_indistinguishability(results, plan)
+        assert report.leaks_nothing
+        assert report.num_queries == 3
+        assert report.distinct_views == 1
+        assert report.matches_plan
+
+    def test_nonconforming_results(self):
+        plan = QueryPlan.from_rounds([RoundSpec(fetches=(("data", 1),))])
+        results = [self._FakeResult(view("data")), self._FakeResult(view("index"))]
+        report = check_indistinguishability(results, plan)
+        assert not report.all_identical
+        assert report.distinct_views == 2
+        assert not report.leaks_nothing
+
+    def test_identical_but_off_plan(self):
+        plan = QueryPlan.from_rounds([RoundSpec(fetches=(("data", 3),))])
+        results = [self._FakeResult(view("data")), self._FakeResult(view("data"))]
+        report = check_indistinguishability(results, plan)
+        assert report.all_identical
+        assert not report.matches_plan
+        assert not report.leaks_nothing
+
+
+class TestTranscript:
+    def test_transcript_rendering(self):
+        transcript = adversary_transcript(view("lookup", "data"))
+        assert transcript == [(1, "header", ""), (2, "pir", "lookup"), (2, "pir", "data")]

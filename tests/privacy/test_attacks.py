@@ -1,0 +1,121 @@
+"""Tests for the volume and frequency inference attacks."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.privacy import (
+    frequency_attack,
+    observation_from_counts,
+    observations_from_results,
+    rank_correlation,
+    simulate_unpadded_volumes,
+    volume_attack,
+)
+
+
+class TestObservationHelpers:
+    def test_observation_is_canonical(self):
+        first = observation_from_counts({"data": 3, "index": 1})
+        second = observation_from_counts({"index": 1, "data": 3})
+        assert first == second
+
+    def test_padded_results_produce_identical_observations(self, ci_scheme, query_pairs):
+        results = [ci_scheme.query(source, target) for source, target in query_pairs[:4]]
+        observations = observations_from_results(results)
+        assert len(set(observations)) == 1
+
+
+class TestRankCorrelation:
+    def test_perfect_positive(self):
+        assert rank_correlation([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert rank_correlation([1, 2, 3, 4], [9, 7, 5, 3]) == pytest.approx(-1.0)
+
+    def test_constant_sequence_gives_none(self):
+        assert rank_correlation([1, 1, 1], [1, 2, 3]) is None
+
+    def test_short_sequence_gives_none(self):
+        assert rank_correlation([1], [2]) is None
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            rank_correlation([1, 2], [1, 2, 3])
+
+    def test_handles_ties(self):
+        value = rank_correlation([1, 1, 2, 3], [5, 5, 6, 7])
+        assert value == pytest.approx(1.0)
+
+
+class TestVolumeAttack:
+    def test_padded_scheme_leaks_nothing(self, ci_scheme, small_network, query_pairs):
+        results = [ci_scheme.query(source, target) for source, target in query_pairs]
+        distances = [
+            small_network.euclidean_distance(source, target) for source, target in query_pairs
+        ]
+        report = volume_attack(observations_from_results(results), distances)
+        assert not report.leaks_information
+        assert report.distinct_observations == 1
+        assert report.observation_entropy_bits == pytest.approx(0.0)
+        assert report.distinguishable_pair_fraction == pytest.approx(0.0)
+        assert report.distance_rank_correlation is None
+
+    def test_unpadded_volumes_leak(
+        self, small_network, partitioning, border_products, query_pairs
+    ):
+        queries = list(query_pairs)
+        observations = simulate_unpadded_volumes(
+            border_products, partitioning, small_network, queries
+        )
+        report = volume_attack(observations)
+        assert report.num_queries == len(queries)
+        assert report.leaks_information
+        assert report.observation_entropy_bits > 0.0
+        assert report.distinguishable_pair_fraction > 0.0
+
+    def test_unpadded_volumes_correlate_with_distance(
+        self, small_network, partitioning, border_products
+    ):
+        from repro.bench import generate_workload
+
+        queries = generate_workload(small_network, count=40, seed=77)
+        observations = simulate_unpadded_volumes(
+            border_products, partitioning, small_network, queries
+        )
+        distances = [
+            small_network.euclidean_distance(source, target) for source, target in queries
+        ]
+        report = volume_attack(observations, distances)
+        assert report.distance_rank_correlation is not None
+        assert report.distance_rank_correlation > 0.3
+
+    def test_empty_observations_rejected(self):
+        with pytest.raises(ReproError):
+            volume_attack([])
+
+    def test_distance_length_mismatch_rejected(self):
+        observation = observation_from_counts({"data": 1})
+        with pytest.raises(ReproError):
+            volume_attack([observation], distances=[1.0, 2.0])
+
+
+class TestFrequencyAttack:
+    def test_distinct_frequencies_fully_reidentified(self):
+        observed = {"a": 50, "b": 30, "c": 10}
+        public = {"a": 500, "b": 300, "c": 100}
+        report = frequency_attack(observed, public)
+        assert report.identification_rate == pytest.approx(1.0)
+
+    def test_shuffled_frequencies_identify_fewer_items(self):
+        observed = {"a": 10, "b": 30, "c": 50}
+        public = {"a": 500, "b": 300, "c": 100}
+        report = frequency_attack(observed, public)
+        assert report.correctly_identified == 1  # only the middle item lines up
+
+    def test_item_set_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            frequency_attack({"a": 1}, {"b": 1})
+
+    def test_empty_inputs(self):
+        report = frequency_attack({}, {})
+        assert report.identification_rate == 0.0

@@ -1,0 +1,65 @@
+"""Property-based tests for the square-root ORAM."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pir import SquareRootOram, oblivious_sort_network
+
+
+@st.composite
+def oram_workloads(draw):
+    """A small block database plus a random logical access sequence."""
+    num_blocks = draw(st.integers(min_value=1, max_value=12))
+    block_size = draw(st.integers(min_value=1, max_value=24))
+    blocks = [
+        draw(st.binary(min_size=block_size, max_size=block_size))
+        for _ in range(num_blocks)
+    ]
+    operations = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["read", "write"]),
+                st.integers(min_value=0, max_value=num_blocks - 1),
+                st.binary(min_size=block_size, max_size=block_size),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    return blocks, operations
+
+
+class TestOramMatchesPlainArray:
+    @given(oram_workloads())
+    @settings(max_examples=40, deadline=None)
+    def test_reads_and_writes_match_a_reference_array(self, workload):
+        blocks, operations = workload
+        oram = SquareRootOram(blocks)
+        reference = list(blocks)
+        for op, index, value in operations:
+            if op == "read":
+                assert oram.read(index) == reference[index]
+            else:
+                oram.write(index, value)
+                reference[index] = value
+        for index, expected in enumerate(reference):
+            assert oram.read(index) == expected
+
+
+class TestSortingNetworkProperties:
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=0, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_network_sorts_arbitrary_integer_lists(self, data):
+        values = list(data)
+        for i, j in oblivious_sort_network(len(values)):
+            if values[i] > values[j]:
+                values[i], values[j] = values[j], values[i]
+        assert values == sorted(data)
+
+    @given(st.integers(min_value=0, max_value=40))
+    @settings(max_examples=30, deadline=None)
+    def test_schedule_size_is_polylogarithmic(self, length):
+        pairs = oblivious_sort_network(length)
+        if length >= 2:
+            # O(n log^2 n) comparator count with a generous constant.
+            bound = 4 * length * (max(length.bit_length(), 1) ** 2)
+            assert len(pairs) <= bound

@@ -1,0 +1,67 @@
+"""Property-based tests for the storage codecs and pages."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage import Page, RecordReader, RecordWriter
+from repro.storage.record import decode_varint, encode_varint
+
+
+class TestVarintProperties:
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    def test_round_trip(self, value):
+        decoded, offset = decode_varint(encode_varint(value))
+        assert decoded == value
+        assert offset == len(encode_varint(value))
+
+    @given(st.integers(min_value=0, max_value=2**63 - 1), st.integers(min_value=0, max_value=2**63 - 1))
+    def test_concatenated_varints_decode_in_order(self, first, second):
+        data = encode_varint(first) + encode_varint(second)
+        value_one, offset = decode_varint(data)
+        value_two, end = decode_varint(data, offset)
+        assert (value_one, value_two) == (first, second)
+        assert end == len(data)
+
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    def test_encoding_is_minimal_length(self, value):
+        """LEB128 length is determined by the bit length of the value."""
+        expected_length = max(1, (value.bit_length() + 6) // 7)
+        assert len(encode_varint(value)) == expected_length
+
+
+class TestRecordProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=2**32 - 1), max_size=50))
+    def test_uint32_list_round_trip(self, values):
+        writer = RecordWriter()
+        writer.uint32_list(values)
+        assert RecordReader(writer.getvalue()).uint32_list() == values
+
+    @given(st.text(max_size=100))
+    def test_string_round_trip(self, text):
+        writer = RecordWriter()
+        writer.string(text)
+        assert RecordReader(writer.getvalue()).string() == text
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_float32_round_trip(self, value):
+        writer = RecordWriter()
+        writer.float32(value)
+        assert RecordReader(writer.getvalue()).float32() == value
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_float64_round_trip(self, value):
+        writer = RecordWriter()
+        writer.float64(value)
+        assert RecordReader(writer.getvalue()).float64() == value
+
+
+class TestPageProperties:
+    @given(st.lists(st.binary(min_size=0, max_size=40), max_size=20))
+    def test_appended_records_concatenate(self, records):
+        page = Page(1024)
+        expected = b""
+        for record in records:
+            page.append(record)
+            expected += record
+        assert page.payload() == expected
+        assert page.used_bytes == len(expected)
+        assert len(page.to_bytes()) == 1024

@@ -1,0 +1,144 @@
+"""Tests for network-index entries, fragmentation and compression."""
+
+import random
+
+import pytest
+
+from repro.exceptions import SchemeError
+from repro.schemes.index_entries import IndexFileBuilder, decode_index_entry
+from repro.storage import PageFile
+
+
+def build_index(entries, page_size=128, compress=True, max_region_set_size=None):
+    page_file = PageFile("index", page_size=page_size)
+    builder = IndexFileBuilder(
+        page_file, compress=compress, max_region_set_size=max_region_set_size
+    )
+    for key, value in entries:
+        if value and isinstance(next(iter(value)), tuple):
+            builder.add_subgraph(key[0], key[1], value)
+        else:
+            builder.add_region_set(key[0], key[1], value)
+    return page_file, builder
+
+
+def fetch_entry(page_file, builder, key):
+    location = builder.location_of(key)
+    pages = [
+        page_file.read_page(number)
+        for number in range(location.start_page, location.start_page + location.page_span)
+    ]
+    return decode_index_entry(pages, key)
+
+
+class TestRegionSetEntries:
+    def test_round_trip_small_sets(self):
+        entries = [((0, 1), {2, 3}), ((0, 2), {3, 4, 5}), ((1, 2), set())]
+        page_file, builder = build_index(entries)
+        for key, regions in entries:
+            entry = fetch_entry(page_file, builder, key)
+            assert entry is not None
+            assert entry.regions >= frozenset(regions)
+
+    def test_effective_set_is_superset_but_bounded(self):
+        """Compression may inflate a set, but never beyond the plan value m."""
+        rng = random.Random(0)
+        max_size = 12
+        entries = []
+        for i in range(6):
+            for j in range(6):
+                size = rng.randrange(0, max_size + 1)
+                entries.append(((i, j), set(rng.sample(range(50), size))))
+        page_file, builder = build_index(entries, max_region_set_size=max_size)
+        for key, regions in entries:
+            entry = fetch_entry(page_file, builder, key)
+            assert entry.regions >= frozenset(regions)
+            assert len(entry.regions) <= max_size
+
+    def test_duplicate_pair_rejected(self):
+        page_file = PageFile("index", page_size=128)
+        builder = IndexFileBuilder(page_file)
+        builder.add_region_set(0, 1, {2})
+        with pytest.raises(SchemeError):
+            builder.add_region_set(0, 1, {3})
+
+    def test_missing_pair_rejected(self):
+        _, builder = build_index([((0, 1), {2})])
+        with pytest.raises(SchemeError):
+            builder.location_of((5, 5))
+
+    def test_fragmented_large_set(self):
+        big = set(range(200))
+        page_file, builder = build_index([((0, 1), big), ((0, 2), {1})], page_size=128)
+        location = builder.location_of((0, 1))
+        assert location.page_span > 1
+        assert builder.max_page_span == location.page_span
+        entry = fetch_entry(page_file, builder, (0, 1))
+        assert entry.regions == frozenset(big)
+
+    def test_compression_reduces_size_for_overlapping_sets(self):
+        base = set(range(30))
+        entries = [((0, j), set(base) | {100 + j}) for j in range(20)]
+        _, compressed_builder = build_index(entries, page_size=256, compress=True)
+        _, raw_builder = build_index(entries, page_size=256, compress=False)
+        compressed_pages = compressed_builder.page_file.num_pages
+        raw_pages = raw_builder.page_file.num_pages
+        assert compressed_pages <= raw_pages
+        assert compressed_pages < raw_pages  # overlap is large, so compression must help
+
+
+class TestSubgraphEntries:
+    def edges(self, seed, count):
+        rng = random.Random(seed)
+        return {(rng.randrange(100), rng.randrange(100), float(rng.randrange(1, 50))) for _ in range(count)}
+
+    def test_round_trip(self):
+        entries = [((0, 1), self.edges(1, 5)), ((0, 2), self.edges(2, 8))]
+        page_file, builder = build_index(entries, page_size=256)
+        for key, edges in entries:
+            entry = fetch_entry(page_file, builder, key)
+            assert entry.edges is not None
+            assert {(u, v) for u, v, _ in entry.edges} >= {(u, v) for u, v, _ in edges}
+
+    def test_weights_survive_round_trip(self):
+        edges = {(1, 2, 3.5), (2, 3, 7.25)}
+        page_file, builder = build_index([((0, 1), edges)], page_size=256)
+        entry = fetch_entry(page_file, builder, (0, 1))
+        assert entry.edges == frozenset(edges)
+
+    def test_fragmented_large_subgraph(self):
+        edges = self.edges(3, 150)
+        page_file, builder = build_index([((0, 1), edges)], page_size=128)
+        assert builder.location_of((0, 1)).page_span > 1
+        entry = fetch_entry(page_file, builder, (0, 1))
+        assert {(u, v) for u, v, _ in entry.edges} == {(u, v) for u, v, _ in edges}
+
+    def test_subgraph_compression_adds_only_edges(self):
+        shared = self.edges(4, 20)
+        entries = [((0, j), set(shared) | {(200 + j, 201 + j, 1.0)}) for j in range(10)]
+        page_file, builder = build_index(entries, page_size=1024, compress=True)
+        for key, edges in entries:
+            entry = fetch_entry(page_file, builder, key)
+            # the effective subgraph may be inflated by reference edges but
+            # always contains the true subgraph
+            assert entry.edges >= frozenset(edges)
+
+    def test_empty_subgraph(self):
+        page_file = PageFile("index", page_size=128)
+        builder = IndexFileBuilder(page_file)
+        builder.add_subgraph(3, 3, set())
+        entry = fetch_entry(page_file, builder, (3, 3))
+        assert entry.edges == frozenset()
+
+
+class TestDecoding:
+    def test_missing_key_returns_none(self):
+        page_file, builder = build_index([((0, 1), {2})])
+        assert decode_index_entry([page_file.read_page(0)], (9, 9)) is None
+
+    def test_decoding_ignores_page_padding(self):
+        page_file, builder = build_index([((0, 1), {2, 3, 4})], page_size=256)
+        page = page_file.read_page(0)
+        assert len(page) == 256  # padded
+        entry = decode_index_entry([page], (0, 1))
+        assert entry.regions == frozenset({2, 3, 4})

@@ -1,0 +1,62 @@
+"""Tests for fixed-size disk pages."""
+
+import pytest
+
+from repro.exceptions import PageOverflowError
+from repro.storage import Page
+
+
+class TestPage:
+    def test_empty_page(self):
+        page = Page(128)
+        assert page.used_bytes == 0
+        assert page.free_bytes == 128
+        assert page.utilization == 0.0
+        assert len(page) == 128
+
+    def test_append_and_offsets(self):
+        page = Page(64)
+        assert page.append(b"abc") == 0
+        assert page.append(b"defg") == 3
+        assert page.used_bytes == 7
+        assert page.payload() == b"abcdefg"
+
+    def test_to_bytes_pads_to_page_size(self):
+        page = Page(16)
+        page.append(b"xy")
+        image = page.to_bytes()
+        assert len(image) == 16
+        assert image.startswith(b"xy")
+        assert image[2:] == b"\x00" * 14
+
+    def test_overflow_rejected(self):
+        page = Page(8)
+        page.append(b"12345678")
+        with pytest.raises(PageOverflowError):
+            page.append(b"x")
+
+    def test_fits(self):
+        page = Page(10)
+        page.append(b"123456")
+        assert page.fits(b"1234")
+        assert not page.fits(b"12345")
+
+    def test_from_bytes_round_trip(self):
+        page = Page(32)
+        page.append(b"hello")
+        rebuilt = Page.from_bytes(page.to_bytes(), page_size=32)
+        assert rebuilt.page_size == 32
+        assert rebuilt.payload().startswith(b"hello")
+
+    def test_from_bytes_too_large_rejected(self):
+        with pytest.raises(PageOverflowError):
+            Page.from_bytes(b"x" * 20, page_size=10)
+
+    def test_invalid_page_size(self):
+        with pytest.raises(ValueError):
+            Page(0)
+
+    def test_utilization_fraction(self):
+        page = Page(100)
+        page.append(b"a" * 25)
+        assert page.utilization == pytest.approx(0.25)

@@ -1,0 +1,68 @@
+"""Tests for page files."""
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage import Page, PageFile
+
+
+class TestPageFile:
+    def test_requires_name(self):
+        with pytest.raises(StorageError):
+            PageFile("")
+
+    def test_new_page_and_sizes(self):
+        page_file = PageFile("data", page_size=128)
+        page_file.new_page().append(b"abc")
+        page_file.new_page()
+        assert page_file.num_pages == 2
+        assert page_file.size_bytes == 256
+        assert page_file.payload_bytes == 3
+        assert len(page_file) == 2
+
+    def test_utilization(self):
+        page_file = PageFile("data", page_size=100)
+        page_file.new_page().append(b"a" * 90)
+        page_file.new_page().append(b"a" * 10)
+        assert page_file.utilization == pytest.approx(0.5)
+
+    def test_append_record_packed_fills_pages(self):
+        page_file = PageFile("data", page_size=10)
+        assert page_file.append_record_packed(b"12345") == 0
+        assert page_file.append_record_packed(b"1234") == 0
+        assert page_file.append_record_packed(b"12") == 1
+        assert page_file.num_pages == 2
+
+    def test_append_record_too_large(self):
+        page_file = PageFile("data", page_size=4)
+        with pytest.raises(StorageError):
+            page_file.append_record_packed(b"12345")
+
+    def test_read_page_and_bounds(self):
+        page_file = PageFile("data", page_size=16)
+        page_file.new_page().append(b"hello")
+        assert page_file.read_page(0).startswith(b"hello")
+        assert len(page_file.read_page(0)) == 16
+        with pytest.raises(StorageError):
+            page_file.read_page(1)
+        with pytest.raises(StorageError):
+            page_file.read_page(-1)
+
+    def test_append_existing_page_checks_size(self):
+        page_file = PageFile("data", page_size=16)
+        with pytest.raises(StorageError):
+            page_file.append_page(Page(32))
+        number = page_file.append_page(Page(16))
+        assert number == 0
+
+    def test_to_bytes_concatenates_pages(self):
+        page_file = PageFile("data", page_size=8)
+        page_file.new_page().append(b"aa")
+        page_file.new_page().append(b"bb")
+        image = page_file.to_bytes()
+        assert len(image) == 16
+        assert image[0:2] == b"aa"
+        assert image[8:10] == b"bb"
+
+    def test_empty_file_utilization_zero(self):
+        assert PageFile("data").utilization == 0.0

@@ -1,0 +1,140 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestParser:
+    def test_no_command_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "does-not-exist"])
+
+    def test_dataset_and_network_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "build",
+                    "--dataset",
+                    "oldenburg",
+                    "--network",
+                    str(tmp_path / "net.txt"),
+                ]
+            )
+
+
+class TestDatasetsCommand:
+    def test_lists_all_registry_entries(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        for label in ("Old.", "Ger.", "Arg.", "Den.", "Ind.", "Nor."):
+            assert label in output
+
+
+class TestGenerateCommand:
+    def test_writes_network_file(self, tmp_path, capsys):
+        output = tmp_path / "net.txt"
+        assert main(["generate", "--nodes", "60", "--seed", "3", "--output", str(output)]) == 0
+        assert output.exists()
+        assert "60 nodes" in capsys.readouterr().out
+
+    def test_generated_file_can_back_a_build(self, tmp_path, capsys):
+        network_file = tmp_path / "net.txt"
+        main(["generate", "--nodes", "80", "--seed", "5", "--output", str(network_file)])
+        code = main(
+            [
+                "build",
+                "--network",
+                str(network_file),
+                "--scheme",
+                "CI",
+                "--page-size",
+                "256",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "scheme        : CI" in output
+        assert "query plan" in output
+
+
+class TestBuildCommand:
+    def test_build_and_save(self, tmp_path, capsys):
+        network_file = tmp_path / "net.txt"
+        main(["generate", "--nodes", "70", "--seed", "9", "--output", str(network_file)])
+        save_dir = tmp_path / "db"
+        code = main(
+            [
+                "build",
+                "--network",
+                str(network_file),
+                "--page-size",
+                "256",
+                "--save",
+                str(save_dir),
+            ]
+        )
+        assert code == 0
+        assert (save_dir / "manifest.json").exists()
+        assert "database saved" in capsys.readouterr().out
+
+
+class TestQueryCommand:
+    def test_query_with_random_endpoints(self, tmp_path, capsys):
+        network_file = tmp_path / "net.txt"
+        main(["generate", "--nodes", "70", "--seed", "2", "--output", str(network_file)])
+        code = main(
+            [
+                "query",
+                "--network",
+                str(network_file),
+                "--page-size",
+                "256",
+                "--show-view",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "path cost" in output
+        assert "response time" in output
+        assert "round 1" in output
+
+    def test_query_with_explicit_endpoints(self, tmp_path, capsys):
+        network_file = tmp_path / "net.txt"
+        main(["generate", "--nodes", "70", "--seed", "2", "--output", str(network_file)])
+        code = main(
+            [
+                "query",
+                "--network",
+                str(network_file),
+                "--page-size",
+                "256",
+                "--source",
+                "0",
+                "--target",
+                "33",
+            ]
+        )
+        assert code == 0
+        assert "0 -> 33" in capsys.readouterr().out
+
+
+class TestExperimentCommand:
+    def test_table2_runs_quickly(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        assert "experiment: table2" in capsys.readouterr().out
+
+    def test_ablation_oram(self, capsys):
+        assert main(["experiment", "ablation-oram"]) == 0
+        output = capsys.readouterr().out
+        assert "trivial_scan_per_access" in output

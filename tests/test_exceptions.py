@@ -1,0 +1,58 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    FileSizeLimitError,
+    GraphError,
+    NoPathError,
+    PageOverflowError,
+    PartitionError,
+    PirError,
+    PlanViolationError,
+    ReproError,
+    SchemeError,
+    StorageError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_class",
+        [
+            GraphError,
+            NoPathError,
+            StorageError,
+            PageOverflowError,
+            PirError,
+            FileSizeLimitError,
+            PartitionError,
+            SchemeError,
+            PlanViolationError,
+        ],
+    )
+    def test_everything_derives_from_repro_error(self, exception_class):
+        assert issubclass(exception_class, ReproError)
+
+    def test_specialisations(self):
+        assert issubclass(NoPathError, GraphError)
+        assert issubclass(PageOverflowError, StorageError)
+        assert issubclass(FileSizeLimitError, PirError)
+        assert issubclass(PlanViolationError, SchemeError)
+
+    def test_no_path_error_carries_endpoints(self):
+        error = NoPathError(3, 7)
+        assert error.source == 3
+        assert error.target == 7
+        assert "3" in str(error) and "7" in str(error)
+
+    def test_file_size_limit_error_carries_details(self):
+        error = FileSizeLimitError("index", 4096, 1024)
+        assert error.file_name == "index"
+        assert error.size_bytes == 4096
+        assert error.limit_bytes == 1024
+        assert "index" in str(error)
+
+    def test_single_except_clause_catches_all(self):
+        with pytest.raises(ReproError):
+            raise PlanViolationError("deviation")
