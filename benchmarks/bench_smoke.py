@@ -1,0 +1,40 @@
+"""Benchmark smoke target: one tiny figure run under a hard time cap.
+
+Run next to the tier-1 pytest command (see ROADMAP.md) to make performance
+regressions fail loudly:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_smoke.py -q
+
+It regenerates a scaled-down Figure 7 (one dataset, a handful of queries)
+through the full pipeline — dataset generation, partitioning, precomputation,
+scheme builds, batched query execution and verification — and fails if the
+run exceeds the cap.  The cap is deliberately loose (an order of magnitude
+above the typical runtime) so only pathological slowdowns trip it.
+"""
+
+import time
+
+from repro.bench import fig7_datasets
+
+#: Hard wall-clock cap in seconds; typical runtime is a few seconds.
+SMOKE_TIME_CAP_S = 90.0
+
+
+def test_fig7_smoke_under_time_cap():
+    started = time.perf_counter()
+    rows = fig7_datasets(datasets=("oldenburg",), num_queries=4)
+    elapsed = time.perf_counter() - started
+
+    assert rows, "smoke experiment produced no rows"
+    schemes = {row["scheme"] for row in rows}
+    assert {"AF", "LM", "CI", "PI"} <= schemes
+    assert all(row["response_s"] > 0 for row in rows)
+    assert elapsed < SMOKE_TIME_CAP_S, (
+        f"benchmark smoke run took {elapsed:.1f}s, cap is {SMOKE_TIME_CAP_S:.0f}s — "
+        "a performance regression made the pipeline pathologically slow"
+    )
+
+
+if __name__ == "__main__":
+    test_fig7_smoke_under_time_cap()
+    print("smoke ok")

@@ -36,7 +36,7 @@ def main() -> None:
     print(f"client wants page {wanted} (the region data of region {wanted})\n")
 
     # --- two-server information-theoretic PIR -------------------------------
-    xor_pir = TwoServerXorPir(pages)
+    xor_pir = TwoServerXorPir(pages, log_queries=True)
     retrieved = xor_pir.retrieve(wanted)
     print("two-server XOR PIR:")
     print(f"  retrieved page matches original: {retrieved == pages[wanted]}")
@@ -49,7 +49,7 @@ def main() -> None:
     # --- single-server computational PIR (Paillier) -------------------------
     # Smaller blocks keep the homomorphic arithmetic quick for the demo.
     small_blocks = [page[:64] for page in pages[:12]]
-    additive_pir = AdditivePirClient(small_blocks, key_bits=512, chunk_bytes=32)
+    additive_pir = AdditivePirClient(small_blocks, key_bits=512, chunk_bytes=32, log_queries=True)
     wanted_small = 7
     retrieved_small = additive_pir.retrieve(wanted_small)
     print("single-server Paillier PIR (64-byte blocks):")

@@ -19,6 +19,7 @@ Quick start::
 """
 
 from .costmodel import DEFAULT_SPEC, CostModel, ResponseTime, SystemSpec
+from .engine import BatchResult, LruCache, QueryEngine
 from .exceptions import (
     FileSizeLimitError,
     GraphError,
@@ -32,10 +33,13 @@ from .exceptions import (
     StorageError,
 )
 from .network import (
+    CsrGraph,
     Path,
     RoadNetwork,
     astar_search,
     bidirectional_dijkstra,
+    build_csr,
+    csr_for,
     dijkstra_tree,
     grid_network,
     random_planar_network,
@@ -91,15 +95,18 @@ __all__ = [
     "AdversaryView",
     "ApproximatePassageIndexScheme",
     "ArcFlagScheme",
+    "BatchResult",
     "ClusteredPassageIndexScheme",
     "ConciseIndexScheme",
     "CostModel",
+    "CsrGraph",
     "DEFAULT_SPEC",
     "Database",
     "FileSizeLimitError",
     "GraphError",
     "HybridScheme",
     "LandmarkScheme",
+    "LruCache",
     "NoPathError",
     "ObfuscationScheme",
     "OramBackedPir",
@@ -112,6 +119,7 @@ __all__ = [
     "Path",
     "PirError",
     "PlanViolationError",
+    "QueryEngine",
     "QueryPlan",
     "QueryResult",
     "ReproError",
@@ -128,11 +136,13 @@ __all__ = [
     "astar_search",
     "bidirectional_dijkstra",
     "build_arc_flags",
+    "build_csr",
     "build_landmark_index",
     "check_indistinguishability",
     "compute_approximate_passage_subgraphs",
     "compute_border_nodes",
     "compute_border_products",
+    "csr_for",
     "dijkstra_tree",
     "grid_network",
     "measure_cost_deviation",

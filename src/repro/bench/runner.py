@@ -4,13 +4,12 @@ file, storage space, page utilization)."""
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..costmodel import ResponseTime
+from ..engine import QueryEngine
 from ..exceptions import SchemeError
-from ..network import NodeId, shortest_path_cost
 from ..schemes import Scheme
 from ..schemes.obfuscation import ObfuscationScheme
 from .workloads import QueryPair
@@ -61,26 +60,29 @@ def run_workload(
     pairs: Sequence[QueryPair],
     verify_costs: bool = True,
     cost_tolerance: float = 1e-4,
+    engine: Optional[QueryEngine] = None,
 ) -> WorkloadSummary:
-    """Execute every query of the workload and aggregate the paper's metrics."""
+    """Execute every query of the workload and aggregate the paper's metrics.
+
+    Workloads run through a :class:`~repro.engine.QueryEngine` (one is created
+    per call unless ``engine`` is supplied, e.g. to share its page cache
+    across several workloads of the same scheme): queries execute under the
+    scheme's fixed plan with client-side decode caching, and the true-cost
+    verification is batched by source over the compiled network.
+    """
     if not pairs:
         raise SchemeError("cannot run an empty workload")
+    if engine is None:
+        engine = QueryEngine(scheme)
+    batch = engine.run_batch(pairs, verify_costs=verify_costs, cost_tolerance=cost_tolerance)
 
     responses: List[ResponseTime] = []
     per_file_accesses: Dict[str, float] = {}
-    views = set()
-    costs_correct = True
-
-    for source, target in pairs:
-        result = scheme.query(source, target)
+    for result in batch.results:
         responses.append(result.response)
         for file_name, count in result.pages_per_file.items():
             per_file_accesses[file_name] = per_file_accesses.get(file_name, 0.0) + count
-        views.add(result.adversary_view)
-        if verify_costs:
-            truth = shortest_path_cost(scheme.network, source, target)
-            if not math.isclose(result.path.cost, truth, rel_tol=cost_tolerance, abs_tol=1e-6):
-                costs_correct = False
+    costs_correct = batch.all_costs_correct
 
     count = len(pairs)
     mean_accesses = {name: total / count for name, total in per_file_accesses.items()}
@@ -103,7 +105,7 @@ def run_workload(
         storage_mb=scheme.storage_mb,
         data_file_utilization=data_utilization,
         all_costs_correct=costs_correct,
-        indistinguishable=len(views) <= 1,
+        indistinguishable=batch.indistinguishable,
     )
 
 

@@ -13,6 +13,9 @@ writing Python:
 * ``repro-spc query`` — build a scheme and answer one private shortest-path
   query, printing the path, the response-time decomposition and what the LBS
   observed;
+* ``repro-spc batch`` — build a scheme and push a whole query workload
+  through the batched :class:`~repro.engine.QueryEngine`, printing
+  throughput, verification and page-cache statistics;
 * ``repro-spc experiment`` — run one of the paper's table/figure experiments
   (or an extension ablation) and print the same rows the benchmark suite
   records.
@@ -51,6 +54,7 @@ from .bench import (
     table3_components,
 )
 from .costmodel import SystemSpec
+from .engine import QueryEngine
 from .network import random_planar_network, read_network, write_network
 from .privacy import adversary_transcript
 from .schemes import (
@@ -117,6 +121,19 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--source", type=int, help="source node id (default: random)")
     query.add_argument("--target", type=int, help="target node id (default: random)")
     query.add_argument("--show-view", action="store_true", help="print the adversary view")
+
+    batch = commands.add_parser(
+        "batch", help="run a query workload through the batched query engine"
+    )
+    _add_scheme_arguments(batch)
+    batch.add_argument("--queries", type=int, default=20, help="workload size")
+    batch.add_argument("--seed", type=int, default=42, help="workload seed")
+    batch.add_argument(
+        "--cache-entries", type=int, default=512, help="page-cache capacity (decoded pages)"
+    )
+    batch.add_argument(
+        "--no-verify", action="store_true", help="skip true-cost verification"
+    )
 
     experiment = commands.add_parser("experiment", help="run one table/figure experiment")
     experiment.add_argument("name", choices=sorted(_EXPERIMENTS), help="experiment to run")
@@ -222,6 +239,33 @@ def _command_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_batch(args: argparse.Namespace) -> int:
+    if args.queries <= 0:
+        print(f"error: --queries must be positive, got {args.queries}", file=sys.stderr)
+        return 2
+    if args.cache_entries <= 0:
+        print(
+            f"error: --cache-entries must be positive, got {args.cache_entries}",
+            file=sys.stderr,
+        )
+        return 2
+    scheme = _build_scheme(args)
+    pairs = generate_workload(scheme.network, count=args.queries, seed=args.seed)
+    engine = QueryEngine(scheme, cache_entries=args.cache_entries)
+    batch = engine.run_batch(pairs, verify_costs=not args.no_verify)
+    print(f"scheme          : {scheme.name}")
+    print(f"queries         : {batch.num_queries}")
+    print(f"wall time       : {batch.wall_seconds:.3f} s "
+          f"({batch.queries_per_second:.1f} queries/s)")
+    print(f"mean response   : {batch.mean_response_s:.2f} s (simulated)")
+    if batch.true_costs is not None:
+        print(f"costs correct   : {batch.all_costs_correct}")
+    print(f"indistinguishable: {batch.indistinguishable}")
+    print(f"page cache      : {batch.cache_hits} hits / {batch.cache_misses} misses "
+          f"({batch.cache_hit_rate * 100:.1f}% hit rate)")
+    return 0
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     rows = _EXPERIMENTS[args.name]()
     print(format_table(rows, f"experiment: {args.name}"))
@@ -233,6 +277,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "generate": _command_generate,
     "build": _command_build,
     "query": _command_query,
+    "batch": _command_batch,
     "experiment": _command_experiment,
 }
 

@@ -1,0 +1,16 @@
+"""Batched query engine: executes query workloads on the fast path.
+
+See :class:`~repro.engine.query_engine.QueryEngine` — batches of queries run
+against one scheme under its shared query plan, with an LRU cache over
+client-side page decoding and batched result verification on the array-backed
+search core.
+"""
+
+from .cache import LruCache
+from .query_engine import BatchResult, QueryEngine
+
+__all__ = [
+    "BatchResult",
+    "LruCache",
+    "QueryEngine",
+]

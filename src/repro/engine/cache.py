@@ -1,0 +1,66 @@
+"""A small LRU cache used by the query engine's client-side page cache."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Optional
+
+
+class LruCache:
+    """Least-recently-used cache with hit/miss accounting.
+
+    Backed by the insertion order of a plain dict: a ``get`` re-inserts the
+    key (making it most-recent) and a ``put`` beyond capacity evicts the
+    oldest entry.  Values must tolerate being shared between users — the
+    engine only caches objects that are treated as read-only after decode.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "_entries")
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[Hashable, Any] = {}
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value for ``key``, or ``None`` on a miss."""
+        try:
+            value = self._entries.pop(key)
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries[key] = value  # re-insert as most recently used
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh ``key``; evicts the least-recent entry when full."""
+        entries = self._entries
+        if key in entries:
+            del entries[key]
+        elif len(entries) >= self.capacity:
+            del entries[next(iter(entries))]
+        entries[key] = value
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when never used)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LruCache(capacity={self.capacity}, size={len(self._entries)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

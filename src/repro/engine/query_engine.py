@@ -1,0 +1,143 @@
+"""The batched query engine: the fast path for executing query workloads.
+
+A :class:`QueryEngine` executes batches of ``(source, target)`` queries
+against one scheme under the scheme's single fixed
+:class:`~repro.schemes.plan.QueryPlan`.  Privacy is untouched — every query
+still runs the full multi-round PIR protocol and is checked against the plan
+— but the engine makes the *client side* fast:
+
+* an LRU page cache (see :class:`~repro.engine.cache.LruCache`) shares the
+  decoded header and decoded region pages across the queries of a batch, so
+  identical page contents are parsed once instead of once per query;
+* result verification runs through the array-backed search core
+  (:mod:`repro.network.indexed`), grouping the batch by source so each
+  distinct source costs one Dijkstra over the compiled network;
+* indistinguishability is asserted over the whole batch (every query must
+  produce the identical adversary view, Theorem 1).
+
+``repro-spc batch`` on the command line and
+:func:`repro.bench.runner.run_workload` (i.e. every figure/table benchmark)
+execute through this engine.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import SchemeError
+from ..network import NodeId, all_pairs_sample_costs
+from ..schemes import files as scheme_files
+from ..schemes.base import QueryResult, Scheme
+from .cache import LruCache
+
+QueryPair = Tuple[NodeId, NodeId]
+
+
+@dataclass
+class BatchResult:
+    """Everything one batch of queries produced."""
+
+    scheme_name: str
+    pairs: List[QueryPair]
+    results: List[QueryResult]
+    #: True shortest-path costs per pair (None when verification was skipped).
+    true_costs: Optional[Dict[QueryPair, float]]
+    #: Whether every query returned the true shortest-path cost.
+    all_costs_correct: bool
+    #: Whether every query produced the identical adversary view.
+    indistinguishable: bool
+    #: Page-cache statistics accumulated during the batch.
+    cache_hits: int
+    cache_misses: int
+    #: Wall-clock seconds the batch took to execute (client machine time,
+    #: not the simulated PIR response time).
+    wall_seconds: float
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.results)
+
+    @property
+    def mean_response_s(self) -> float:
+        """Mean simulated response time per query."""
+        if not self.results:
+            return 0.0
+        return sum(result.response.total_s for result in self.results) / len(self.results)
+
+    @property
+    def queries_per_second(self) -> float:
+        """Executed queries per wall-clock second (0.0 for an empty batch)."""
+        if not self.results or self.wall_seconds <= 0.0:
+            return 0.0
+        return len(self.results) / self.wall_seconds
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+class QueryEngine:
+    """Executes batches of private shortest-path queries against one scheme."""
+
+    def __init__(self, scheme: Scheme, cache_entries: int = 512) -> None:
+        self.scheme = scheme
+        #: The shared plan every query of every batch runs under.
+        self.plan = scheme.plan
+        self.page_cache = LruCache(cache_entries)
+
+    def execute(self, source: NodeId, target: NodeId) -> QueryResult:
+        """Answer a single query through the engine's page cache."""
+        with scheme_files.decode_cache_scope(self.page_cache):
+            return self.scheme.query(source, target)
+
+    def run_batch(
+        self,
+        pairs: Sequence[QueryPair],
+        verify_costs: bool = True,
+        cost_tolerance: float = 1e-4,
+    ) -> BatchResult:
+        """Execute every query of ``pairs`` and verify the batch as a whole.
+
+        Cost verification is batched: the pairs are grouped by source and
+        each distinct source triggers one (early-terminating) Dijkstra over
+        the compiled full network, rather than one search per query.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            raise SchemeError("cannot run an empty batch")
+        cache = self.page_cache
+        hits_before, misses_before = cache.hits, cache.misses
+
+        started = time.perf_counter()
+        with scheme_files.decode_cache_scope(cache):
+            results = [self.scheme.query(source, target) for source, target in pairs]
+        wall_seconds = time.perf_counter() - started
+
+        views = {result.adversary_view for result in results}
+
+        true_costs: Optional[Dict[QueryPair, float]] = None
+        all_costs_correct = True
+        if verify_costs:
+            true_costs = all_pairs_sample_costs(self.scheme.network, pairs)
+            for pair, result in zip(pairs, results):
+                truth = true_costs[pair]
+                if not math.isclose(
+                    result.path.cost, truth, rel_tol=cost_tolerance, abs_tol=1e-6
+                ):
+                    all_costs_correct = False
+
+        return BatchResult(
+            scheme_name=self.scheme.name,
+            pairs=pairs,
+            results=results,
+            true_costs=true_costs,
+            all_costs_correct=all_costs_correct,
+            indistinguishable=len(views) <= 1,
+            cache_hits=cache.hits - hits_before,
+            cache_misses=cache.misses - misses_before,
+            wall_seconds=wall_seconds,
+        )

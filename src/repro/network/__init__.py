@@ -1,15 +1,19 @@
 """Road-network substrate: graphs, search algorithms, generators and I/O."""
 
-from .astar import astar_search, euclidean_heuristic, zero_heuristic
+from .astar import astar_search, euclidean_heuristic, reference_astar_search, zero_heuristic
 from .dijkstra import (
     ShortestPathTree,
     all_pairs_sample_costs,
     bidirectional_dijkstra,
     dijkstra_tree,
+    reference_bidirectional_dijkstra,
+    reference_dijkstra_tree,
+    reference_shortest_path,
     shortest_path,
     shortest_path_cost,
 )
 from .generators import grid_network, random_planar_network
+from .indexed import CsrGraph, build_csr, csr_for
 from .graph import Edge, Node, NodeId, RoadNetwork
 from .io import (
     network_from_string,
@@ -20,6 +24,7 @@ from .io import (
 from .paths import Path, SearchStats, validate_path
 
 __all__ = [
+    "CsrGraph",
     "Edge",
     "Node",
     "NodeId",
@@ -30,6 +35,8 @@ __all__ = [
     "all_pairs_sample_costs",
     "astar_search",
     "bidirectional_dijkstra",
+    "build_csr",
+    "csr_for",
     "dijkstra_tree",
     "euclidean_heuristic",
     "grid_network",
@@ -37,6 +44,10 @@ __all__ = [
     "network_to_string",
     "random_planar_network",
     "read_network",
+    "reference_astar_search",
+    "reference_bidirectional_dijkstra",
+    "reference_dijkstra_tree",
+    "reference_shortest_path",
     "shortest_path",
     "shortest_path_cost",
     "validate_path",

@@ -4,6 +4,13 @@ These are the plain, unsecured search primitives (reference [7] in the paper).
 They are used (i) by the querying client on the retrieved subgraph, (ii) by the
 pre-computation that builds ``S_ij`` region sets and ``G_ij`` passage
 subgraphs, and (iii) by the OBF baseline server.
+
+The public functions are thin compatibility wrappers over the array-backed
+fast path in :mod:`repro.network.indexed`: the network is compiled once into a
+:class:`~repro.network.indexed.CsrGraph` (cached on the network object) and
+all heap work runs on dense integer ids and flat lists.  The original
+dict-based implementations are kept as ``reference_*`` functions; the property
+tests assert that the fast path returns identical costs.
 """
 
 from __future__ import annotations
@@ -11,11 +18,22 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..exceptions import NoPathError
 from .graph import NodeId, RoadNetwork
+from .indexed import (
+    bidirectional_arrays,
+    csr_for,
+    dijkstra_arrays,
+    scipy_dijkstra_arrays,
+)
 from .paths import Path, SearchStats
+
+#: Below this many nodes the pure-Python core beats the SciPy call overhead
+#: (per-query scheme subgraphs are far smaller than this; the full road
+#: networks of the benchmarks are far larger).
+_SCIPY_MIN_NODES = 256
 
 
 @dataclass
@@ -63,7 +81,197 @@ def dijkstra_tree(
 
     When ``targets`` is given, the search stops as soon as all targets are
     settled (useful during pre-computation when only border nodes matter).
+    Every target id must exist in the network — an unknown id raises
+    :class:`~repro.exceptions.GraphError` immediately instead of silently
+    degrading into a full-graph scan that can never settle it.  Targets that
+    exist but are unreachable still bound the search only by graph
+    exhaustion, exactly like the reference implementation.
     """
+    csr = csr_for(network)
+    dense_source = csr.dense_id(source)
+    target_set = None
+    if targets is not None:
+        target_set = {csr.dense_id(target) for target in targets}
+
+    # The SciPy C core computes the full tree; use it whenever statistics
+    # (which require observing the settle order) are not requested and the
+    # graph is large enough for the call overhead to pay off.  With targets
+    # and SciPy this returns a superset of the early-terminated tree, which
+    # callers treat identically.
+    if (
+        stats is not None
+        or csr.num_nodes < _SCIPY_MIN_NODES
+        or (target_set is not None and not target_set)
+    ):
+        arrays = None
+    else:
+        arrays = scipy_dijkstra_arrays(csr, dense_source)
+    node_ids = csr.node_ids
+    distances: Dict[NodeId, float] = {}
+    parents: Dict[NodeId, Optional[NodeId]] = {}
+    if arrays is not None:
+        dist, predecessors = arrays
+        reached = (dist != math.inf).nonzero()[0]
+        reached_list = reached.tolist()
+        dist_compact = dist[reached].tolist()
+        pred_compact = predecessors[reached].tolist()
+        if csr.identity_ids:
+            distances = dict(zip(reached_list, dist_compact))
+            parents = {
+                original: (pred if pred >= 0 else None)
+                for original, pred in zip(reached_list, pred_compact)
+            }
+        else:
+            reached_ids = [node_ids[dense] for dense in reached_list]
+            distances = dict(zip(reached_ids, dist_compact))
+            parents = {
+                original: (node_ids[pred] if pred >= 0 else None)
+                for original, pred in zip(reached_ids, pred_compact)
+            }
+        return ShortestPathTree(source, distances, parents)
+
+    dist, parent, touched = dijkstra_arrays(csr, dense_source, target_set, stats)
+    for dense in touched:
+        original = node_ids[dense]
+        distances[original] = dist[dense]
+        dense_parent = parent[dense]
+        parents[original] = node_ids[dense_parent] if dense_parent >= 0 else None
+    return ShortestPathTree(source, distances, parents)
+
+
+def shortest_path(
+    network: RoadNetwork,
+    source: NodeId,
+    target: NodeId,
+    stats: Optional[SearchStats] = None,
+) -> Path:
+    """Point-to-point shortest path via Dijkstra (early termination at target)."""
+    if source == target:
+        network.node(source)
+        return Path((source,), 0.0)
+    csr = csr_for(network)
+    dense_source = csr.dense_id(source)
+    dense_target = csr.dense_id(target)
+
+    if stats is None and csr.num_nodes >= _SCIPY_MIN_NODES:
+        arrays = scipy_dijkstra_arrays(csr, dense_source)
+        if arrays is not None:
+            dist, predecessors = arrays
+            cost = dist[dense_target]
+            if cost == math.inf:
+                raise NoPathError(source, target)
+            node_ids = csr.node_ids
+            dense_nodes = [dense_target]
+            current = dense_target
+            while current != dense_source:
+                current = int(predecessors[current])
+                dense_nodes.append(current)
+            dense_nodes.reverse()
+            return Path(tuple(node_ids[dense] for dense in dense_nodes), float(cost))
+
+    dist, parent, _ = dijkstra_arrays(csr, dense_source, {dense_target}, stats)
+    if dist[dense_target] == math.inf:
+        raise NoPathError(source, target)
+    node_ids = csr.node_ids
+    dense_nodes = [dense_target]
+    current = dense_target
+    while current != dense_source:
+        current = parent[current]
+        dense_nodes.append(current)
+    dense_nodes.reverse()
+    return Path(tuple(node_ids[dense] for dense in dense_nodes), dist[dense_target])
+
+
+def shortest_path_cost(network: RoadNetwork, source: NodeId, target: NodeId) -> float:
+    """Cost of the shortest path from ``source`` to ``target``."""
+    return shortest_path(network, source, target).cost
+
+
+def bidirectional_dijkstra(
+    network: RoadNetwork,
+    source: NodeId,
+    target: NodeId,
+    stats: Optional[SearchStats] = None,
+) -> Path:
+    """Bidirectional Dijkstra; returns the same path cost as :func:`shortest_path`.
+
+    Provided as an additional substrate primitive; note that road-network
+    schemes in the paper expand from both endpoints implicitly by fetching the
+    source and destination regions first.  ``stats`` is kept at parity with
+    :func:`dijkstra_tree`: settles from *both* directions count toward
+    ``settled_nodes``/``visited_nodes`` and successful relaxations toward
+    ``relaxed_edges``.
+    """
+    if source == target:
+        network.node(source)
+        return Path((source,), 0.0)
+    csr = csr_for(network)
+    dense_source = csr.dense_id(source)
+    dense_target = csr.dense_id(target)
+    result = bidirectional_arrays(csr, dense_source, dense_target, stats)
+    if result is None:
+        raise NoPathError(source, target)
+    cost, dense_nodes = result
+    node_ids = csr.node_ids
+    return Path(tuple(node_ids[dense] for dense in dense_nodes), cost)
+
+
+def all_pairs_sample_costs(
+    network: RoadNetwork, pairs: Iterable[Tuple[NodeId, NodeId]]
+) -> Dict[Tuple[NodeId, NodeId], float]:
+    """Shortest-path costs for a collection of (source, target) pairs.
+
+    Sources are grouped so that each distinct source triggers a single
+    Dijkstra run; with SciPy available, the whole batch of sources runs in
+    one multi-source call of the C core and only the requested ``(source,
+    target)`` entries are read out.  Raises :class:`NoPathError` for
+    unreachable pairs, :class:`~repro.exceptions.GraphError` for unknown ids.
+    """
+    by_source: Dict[NodeId, List[NodeId]] = {}
+    for source, target in pairs:
+        by_source.setdefault(source, []).append(target)
+    costs: Dict[Tuple[NodeId, NodeId], float] = {}
+    if not by_source:
+        return costs
+
+    csr = csr_for(network)
+    if csr.num_nodes >= _SCIPY_MIN_NODES:
+        matrix = csr.scipy_csgraph()
+        if matrix is not None:
+            from .indexed import _scipy_modules
+
+            _, _, scipy_dijkstra = _scipy_modules()
+            sources = list(by_source)
+            dense_sources = [csr.dense_id(source) for source in sources]
+            dist = scipy_dijkstra(
+                matrix, directed=True, indices=dense_sources, return_predecessors=False
+            )
+            for row, source in zip(dist, sources):
+                for target in by_source[source]:
+                    cost = row[csr.dense_id(target)]
+                    if cost == math.inf:
+                        raise NoPathError(source, target)
+                    costs[(source, target)] = float(cost)
+            return costs
+
+    for source, targets in by_source.items():
+        tree = dijkstra_tree(network, source, targets=targets)
+        for target in targets:
+            costs[(source, target)] = tree.distance_to(target)
+    return costs
+
+
+# ---------------------------------------------------------------------- #
+# reference implementations (dict-based; kept for property tests and
+# microbenchmark baselines — see tests/properties/test_property_fastpath.py)
+# ---------------------------------------------------------------------- #
+def reference_dijkstra_tree(
+    network: RoadNetwork,
+    source: NodeId,
+    targets: Optional[Iterable[NodeId]] = None,
+    stats: Optional[SearchStats] = None,
+) -> ShortestPathTree:
+    """The original dict-based Dijkstra, preserved verbatim as the oracle."""
     network.node(source)  # validates the source exists
     remaining = set(targets) if targets is not None else None
     distances: Dict[NodeId, float] = {source: 0.0}
@@ -97,39 +305,28 @@ def dijkstra_tree(
     return ShortestPathTree(source, distances, parents)
 
 
-def shortest_path(
+def reference_shortest_path(
     network: RoadNetwork,
     source: NodeId,
     target: NodeId,
     stats: Optional[SearchStats] = None,
 ) -> Path:
-    """Point-to-point shortest path via Dijkstra (early termination at target)."""
+    """Point-to-point shortest path via the reference Dijkstra."""
     if source == target:
         network.node(source)
         return Path((source,), 0.0)
-    tree = dijkstra_tree(network, source, targets=[target], stats=stats)
+    tree = reference_dijkstra_tree(network, source, targets=[target], stats=stats)
     if not tree.has_path_to(target):
         raise NoPathError(source, target)
     return tree.path_to(target)
 
 
-def shortest_path_cost(network: RoadNetwork, source: NodeId, target: NodeId) -> float:
-    """Cost of the shortest path from ``source`` to ``target``."""
-    return shortest_path(network, source, target).cost
-
-
-def bidirectional_dijkstra(
+def reference_bidirectional_dijkstra(
     network: RoadNetwork,
     source: NodeId,
     target: NodeId,
-    stats: Optional[SearchStats] = None,
 ) -> Path:
-    """Bidirectional Dijkstra; returns the same path cost as :func:`shortest_path`.
-
-    Provided as an additional substrate primitive; note that road-network
-    schemes in the paper expand from both endpoints implicitly by fetching the
-    source and destination regions first.
-    """
+    """The original dict-based bidirectional Dijkstra, preserved as the oracle."""
     if source == target:
         network.node(source)
         return Path((source,), 0.0)
@@ -155,8 +352,6 @@ def bidirectional_dijkstra(
         if node in settled:
             return
         settled.add(node)
-        if stats is not None:
-            stats.settled_nodes += 1
         for neighbor, weight in graph.neighbors(node):
             candidate = dist + weight
             if candidate < dist_map.get(neighbor, math.inf):
@@ -164,7 +359,7 @@ def bidirectional_dijkstra(
                 parent_map[neighbor] = node
                 heapq.heappush(heap, (candidate, neighbor))
             if neighbor in other_dist:
-                total = candidate + other_dist[neighbor]
+                total = dist_map.get(neighbor, candidate) + other_dist[neighbor]
                 if total < best_cost:
                     best_cost = total
                     meeting_node = neighbor
@@ -198,22 +393,3 @@ def bidirectional_dijkstra(
 
     nodes = forward_nodes + backward_nodes
     return Path(tuple(nodes), best_cost)
-
-
-def all_pairs_sample_costs(
-    network: RoadNetwork, pairs: Iterable[Tuple[NodeId, NodeId]]
-) -> Dict[Tuple[NodeId, NodeId], float]:
-    """Shortest-path costs for a collection of (source, target) pairs.
-
-    Sources are grouped so that each distinct source triggers a single
-    Dijkstra run.
-    """
-    by_source: Dict[NodeId, List[NodeId]] = {}
-    for source, target in pairs:
-        by_source.setdefault(source, []).append(target)
-    costs: Dict[Tuple[NodeId, NodeId], float] = {}
-    for source, targets in by_source.items():
-        tree = dijkstra_tree(network, source, targets=targets)
-        for target in targets:
-            costs[(source, target)] = tree.distance_to(target)
-    return costs

@@ -56,6 +56,10 @@ class RoadNetwork:
         self._nodes: Dict[NodeId, Node] = {}
         self._adjacency: Dict[NodeId, List[Tuple[NodeId, float]]] = {}
         self._edge_count = 0
+        #: Compiled CSR form, managed by :func:`repro.network.indexed.csr_for`.
+        #: Networks are append-only, so the cache is keyed (and invalidated)
+        #: by the ``(num_nodes, num_edges)`` snapshot stored alongside it.
+        self._csr_cache: Optional[Tuple[Tuple[int, int], object]] = None
 
     # ------------------------------------------------------------------ #
     # construction

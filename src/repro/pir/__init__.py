@@ -2,6 +2,7 @@
 
 from .access_log import AccessTrace, AdversaryEvent, AdversaryView
 from .additive_pir import AdditivePirClient, AdditivePirServer
+from .batch import indices_mask, mask_indices, random_subset_masks, retrieve_many
 from .oram import (
     OramBackedPir,
     OramServer,
@@ -37,7 +38,11 @@ __all__ = [
     "XorPirServer",
     "generate_keypair",
     "generate_prime",
+    "indices_mask",
+    "mask_indices",
     "oblivious_sort_network",
+    "random_subset_masks",
+    "retrieve_many",
     "stream_encrypt",
     "validate_block_database",
     "xor_bytes",

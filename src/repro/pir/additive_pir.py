@@ -26,12 +26,17 @@ from .protocol import PirProtocol, validate_block_database
 class AdditivePirServer:
     """Server side: stores plaintext blocks, answers encrypted selection vectors."""
 
-    def __init__(self, blocks: Sequence[bytes], chunk_bytes: int = 32) -> None:
+    def __init__(
+        self, blocks: Sequence[bytes], chunk_bytes: int = 32, log_queries: bool = False
+    ) -> None:
         self._blocks = validate_block_database(blocks)
         if chunk_bytes <= 0:
             raise PirError("chunk size must be positive")
         self.chunk_bytes = chunk_bytes
         self.block_size = len(self._blocks[0])
+        #: Adversary-view log of encrypted selection vectors; opt-in via
+        #: ``log_queries`` so long benchmark runs do not grow it unboundedly.
+        self.log_queries = log_queries
         self.queries_seen: List[Tuple[int, ...]] = []
         self._chunked = [self._split_chunks(block) for block in self._blocks]
 
@@ -55,7 +60,8 @@ class AdditivePirServer:
             raise PirError("selection vector length must equal the number of blocks")
         if self.chunk_bytes * 8 >= public_key.n.bit_length() - 1:
             raise PirError("chunk size too large for the Paillier modulus")
-        self.queries_seen.append(tuple(encrypted_selector))
+        if self.log_queries:
+            self.queries_seen.append(tuple(encrypted_selector))
         answers = []
         for chunk_index in range(self.num_chunks):
             accumulator = public_key.encrypt(0, randomness=1)  # deterministic Enc(0) = 1·...
@@ -78,8 +84,9 @@ class AdditivePirClient(PirProtocol):
         key_bits: int = 512,
         chunk_bytes: int = 32,
         keypair: Optional[Tuple[PaillierPublicKey, PaillierPrivateKey]] = None,
+        log_queries: bool = False,
     ) -> None:
-        self.server = AdditivePirServer(blocks, chunk_bytes=chunk_bytes)
+        self.server = AdditivePirServer(blocks, chunk_bytes=chunk_bytes, log_queries=log_queries)
         if keypair is None:
             keypair = generate_keypair(key_bits)
         self.public_key, self._private_key = keypair

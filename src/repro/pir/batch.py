@@ -1,0 +1,71 @@
+"""Batched PIR retrieval: subset-mask helpers and the generic batch driver.
+
+Every :class:`~repro.pir.protocol.PirProtocol` exposes ``retrieve_many``; the
+base class falls back to repeated single retrievals, while protocols that can
+amortize work across a batch override it (``TwoServerXorPir`` draws the random
+subsets for the whole batch from one ``getrandbits`` call and answers them in
+one pass per server).  This module holds the shared bitmask utilities and a
+convenience front end.
+
+Subsets of block indices are represented as integer bitmasks: bit ``i`` set
+means block ``i`` is in the subset.  On top of being compact, this lets the
+servers accumulate answers with native big-integer XOR instead of
+byte-at-a-time loops.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..exceptions import PirError
+
+
+def mask_indices(mask: int) -> List[int]:
+    """The sorted block indices named by a subset bitmask."""
+    if mask < 0:
+        raise PirError("subset masks must be non-negative")
+    indices: List[int] = []
+    remaining = mask
+    while remaining:
+        lowest = remaining & -remaining
+        indices.append(lowest.bit_length() - 1)
+        remaining ^= lowest
+    return indices
+
+
+def indices_mask(indices: Sequence[int]) -> int:
+    """The subset bitmask naming ``indices``."""
+    mask = 0
+    for index in indices:
+        if index < 0:
+            raise PirError(f"block index {index} out of range")
+        mask |= 1 << index
+    return mask
+
+
+def random_subset_masks(rng, num_blocks: int, count: int) -> List[int]:
+    """``count`` independent uniform subset masks over ``num_blocks`` blocks.
+
+    All ``num_blocks * count`` random bits are drawn with a single
+    ``rng.getrandbits`` call, which is what makes batched retrieval cheaper
+    than per-query subset generation.  Each slice of ``num_blocks`` bits is an
+    independent uniform mask, so per-query privacy is unchanged.
+    """
+    if num_blocks <= 0:
+        raise PirError("a PIR database needs at least one block")
+    if count < 0:
+        raise PirError("cannot draw a negative number of subsets")
+    if count == 0:
+        return []
+    bits = rng.getrandbits(num_blocks * count)
+    full = (1 << num_blocks) - 1
+    return [(bits >> (position * num_blocks)) & full for position in range(count)]
+
+
+def retrieve_many(protocol, indices: Sequence[int]) -> List[bytes]:
+    """Retrieve a batch of blocks through any PIR protocol.
+
+    Thin front end over ``protocol.retrieve_many`` so call sites can stay
+    agnostic of which protocol (and which batching strategy) is in use.
+    """
+    return protocol.retrieve_many(indices)

@@ -27,6 +27,14 @@ class PirProtocol(abc.ABC):
     def retrieve(self, index: int) -> bytes:
         """Return the block at ``index`` without revealing ``index`` to the server."""
 
+    def retrieve_many(self, indices: Sequence[int]) -> List[bytes]:
+        """Retrieve a batch of blocks; equivalent to repeated :meth:`retrieve`.
+
+        Protocols that can amortize per-query work across a batch override
+        this (see :meth:`repro.pir.xor_pir.TwoServerXorPir.retrieve_many`).
+        """
+        return [self.retrieve(index) for index in indices]
+
     @property
     @abc.abstractmethod
     def num_blocks(self) -> int:

@@ -14,6 +14,7 @@ File names are fixed constants so query plans can reference them.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -32,6 +33,28 @@ COMBINED_FILE = "combined"
 
 #: Size in bytes of one look-up entry (a page number in the network index file).
 LOOKUP_ENTRY_BYTES = 4
+
+#: Client-side decode cache installed by the query engine (None = disabled).
+#: Maps ``("header", bytes)`` to a decoded :class:`HeaderInfo` and
+#: ``("region", bytes)`` to a decoded region payload.  Cached objects are
+#: treated as read-only by all query paths; the adversary-visible PIR fetches
+#: still happen for every query, only the client-side decode work is shared.
+#: Module-global and therefore not safe for overlapping installs from
+#: concurrent engines — must move onto the scheme/query path if the engine
+#: ever executes batches concurrently (see ROADMAP.md).
+_decode_cache = None
+
+
+@contextmanager
+def decode_cache_scope(cache):
+    """Install ``cache`` as the decode cache for the duration of the block."""
+    global _decode_cache
+    previous = _decode_cache
+    _decode_cache = cache
+    try:
+        yield cache
+    finally:
+        _decode_cache = previous
 
 
 # ---------------------------------------------------------------------- #
@@ -66,7 +89,10 @@ class HeaderInfo:
     # -------------------------------------------------------------- #
     def region_of_point(self, x: float, y: float) -> int:
         """Map Euclidean coordinates to a region id using the shipped split tree."""
-        tree = _Partitioning.tree_from_splits(self.tree_splits)
+        tree = getattr(self, "_split_tree", None)
+        if tree is None:
+            tree = _Partitioning.tree_from_splits(self.tree_splits)
+            self._split_tree = tree
         return _descend(tree, x, y)
 
     def lookup_page_for(self, region_i: int, region_j: int) -> Tuple[int, int]:
@@ -119,6 +145,11 @@ class HeaderInfo:
 
     @staticmethod
     def decode(data: bytes) -> "HeaderInfo":
+        cache = _decode_cache
+        if cache is not None:
+            cached = cache.get(("header", data))
+            if cached is not None:
+                return cached
         reader = RecordReader(data)
         scheme_name = reader.string()
         page_size = reader.uint32()
@@ -144,7 +175,7 @@ class HeaderInfo:
             right = reader.varint()
             tree_splits.append((index, axis, value, left, right))
         plan = QueryPlan.decode(reader)
-        return HeaderInfo(
+        header = HeaderInfo(
             scheme_name=scheme_name,
             page_size=page_size,
             num_regions=num_regions,
@@ -163,6 +194,9 @@ class HeaderInfo:
             plan=plan,
             index_continuation_pages=index_continuation_pages,
         )
+        if cache is not None:
+            cache.put(("header", data), header)
+        return header
 
 
 def _descend(tree: TreeNode, x: float, y: float) -> int:
@@ -250,5 +284,18 @@ def build_region_data_file(
 
 
 def decode_region_pages(pages: Sequence[bytes]):
-    """Decode the node records of one region from its (concatenated) pages."""
-    return decode_region_payload(b"".join(pages))
+    """Decode the node records of one region from its (concatenated) pages.
+
+    When the query engine has a decode cache installed, identical page
+    contents (the common case for repeated region fetches within a workload)
+    are decoded once and shared; callers must not mutate the returned payload.
+    """
+    payload = b"".join(pages)
+    cache = _decode_cache
+    if cache is None:
+        return decode_region_payload(payload)
+    decoded = cache.get(("region", payload))
+    if decoded is None:
+        decoded = decode_region_payload(payload)
+        cache.put(("region", payload), decoded)
+    return decoded

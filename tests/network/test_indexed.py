@@ -1,0 +1,160 @@
+"""Tests for the array-backed (CSR) graph core and its compiled cache."""
+
+import math
+
+import pytest
+
+from repro.exceptions import GraphError, NoPathError
+from repro.network import (
+    CsrGraph,
+    RoadNetwork,
+    SearchStats,
+    bidirectional_dijkstra,
+    build_csr,
+    csr_for,
+    dijkstra_tree,
+    shortest_path,
+)
+
+
+def build_diamond():
+    network = RoadNetwork()
+    for node_id, (x, y) in enumerate([(0, 0), (1, 1), (1, -1), (2, 0)]):
+        network.add_node(node_id, float(x), float(y))
+    network.add_undirected_edge(0, 1, 1.0)
+    network.add_undirected_edge(1, 3, 1.0)
+    network.add_undirected_edge(0, 2, 2.0)
+    network.add_undirected_edge(2, 3, 2.0)
+    network.add_undirected_edge(0, 3, 5.0)
+    return network
+
+
+class TestCsrCompilation:
+    def test_counts_match_network(self, medium_network):
+        csr = build_csr(medium_network)
+        assert csr.num_nodes == medium_network.num_nodes
+        assert csr.num_edges == medium_network.num_edges
+
+    def test_id_mapping_roundtrip(self, medium_network):
+        csr = build_csr(medium_network)
+        for node_id in medium_network.node_ids():
+            assert csr.original_id(csr.dense_id(node_id)) == node_id
+            assert node_id in csr
+
+    def test_unknown_node_rejected(self):
+        csr = build_csr(build_diamond())
+        with pytest.raises(GraphError):
+            csr.dense_id(999)
+        assert 999 not in csr
+
+    def test_adjacency_preserves_weights(self):
+        network = build_diamond()
+        csr = build_csr(network)
+        adjacency = csr.adjacency()
+        for node_id in network.node_ids():
+            dense = csr.dense_id(node_id)
+            expected = sorted(
+                (weight, csr.dense_id(neighbor))
+                for neighbor, weight in network.neighbors(node_id)
+            )
+            assert sorted(adjacency[dense]) == expected
+
+    def test_reverse_transposes_edges(self):
+        network = RoadNetwork()
+        network.add_node(0, 0.0, 0.0)
+        network.add_node(1, 1.0, 0.0)
+        network.add_edge(0, 1, 2.5)
+        csr = build_csr(network)
+        reverse = csr.reverse()
+        assert reverse.num_edges == 1
+        dense_one = csr.dense_id(1)
+        dense_zero = csr.dense_id(0)
+        assert reverse.adjacency()[dense_one] == ((2.5, dense_zero),)
+        assert reverse.adjacency()[dense_zero] == ()
+        # the transpose of the transpose is the original object
+        assert reverse.reverse() is csr
+
+    def test_cache_reuses_compiled_graph(self):
+        network = build_diamond()
+        first = csr_for(network)
+        assert csr_for(network) is first
+
+    def test_cache_invalidated_by_growth(self):
+        network = build_diamond()
+        first = csr_for(network)
+        network.add_node(10, 5.0, 5.0)
+        network.add_edge(3, 10, 1.0)
+        second = csr_for(network)
+        assert second is not first
+        assert second.num_nodes == network.num_nodes
+        assert second.num_edges == network.num_edges
+
+
+class TestFastPathSemantics:
+    def test_unknown_target_rejected_up_front(self):
+        """An unknown target id fails fast instead of degrading into a
+        full-graph scan that can never settle it."""
+        network = build_diamond()
+        with pytest.raises(GraphError):
+            dijkstra_tree(network, 0, targets=[999])
+
+    def test_unreachable_target_still_scans_component(self):
+        network = build_diamond()
+        network.add_node(42, 9.0, 9.0)  # exists but disconnected
+        tree = dijkstra_tree(network, 0, targets=[42])
+        assert not tree.has_path_to(42)
+        with pytest.raises(NoPathError):
+            tree.distance_to(42)
+
+    def test_empty_target_set_stops_immediately(self):
+        network = build_diamond()
+        stats = SearchStats()
+        tree = dijkstra_tree(network, 0, targets=[], stats=stats)
+        assert stats.settled_nodes == 1
+        assert tree.distance_to(0) == 0.0
+
+    def test_parallel_edges_keep_cheapest(self):
+        network = RoadNetwork()
+        network.add_node(0, 0.0, 0.0)
+        network.add_node(1, 1.0, 0.0)
+        network.add_edge(0, 1, 5.0)
+        network.add_edge(0, 1, 2.0)  # parallel, cheaper
+        assert shortest_path(network, 0, 1).cost == pytest.approx(2.0)
+
+    def test_bidirectional_stats_parity(self, medium_network):
+        """Bidirectional runs record the same statistics fields as
+        :func:`dijkstra_tree`: settles, relaxations and the visit order."""
+        uni_stats = SearchStats()
+        bi_stats = SearchStats()
+        node_ids = list(medium_network.node_ids())
+        source, target = node_ids[0], node_ids[-1]
+        uni = shortest_path(medium_network, source, target, stats=uni_stats)
+        both = bidirectional_dijkstra(medium_network, source, target, stats=bi_stats)
+        assert both.cost == pytest.approx(uni.cost)
+        assert bi_stats.settled_nodes > 0
+        assert bi_stats.relaxed_edges > 0
+        assert len(bi_stats.visited_nodes) == bi_stats.settled_nodes
+        # both endpoints are settled first, one per direction
+        assert set(bi_stats.visited_nodes[:2]) == {source, target}
+        # the bidirectional search should not do more work than it reports:
+        # every visited node is a real network node
+        assert all(node in medium_network for node in bi_stats.visited_nodes)
+
+    def test_bidirectional_stats_on_diamond(self):
+        network = build_diamond()
+        stats = SearchStats()
+        path = bidirectional_dijkstra(network, 0, 3, stats=stats)
+        assert path.cost == pytest.approx(2.0)
+        assert stats.settled_nodes >= 2
+        assert stats.relaxed_edges >= 2
+        assert stats.visited_nodes
+
+
+class TestCsrGraphDirect:
+    def test_from_network_empty_adjacency(self):
+        network = RoadNetwork()
+        network.add_node(7, 0.0, 0.0)
+        csr = CsrGraph.from_network(network)
+        assert csr.num_nodes == 1
+        assert csr.num_edges == 0
+        assert csr.adjacency() == [()]

@@ -45,7 +45,7 @@ class TestAdditivePir:
         ciphertexts; the server cannot read the selected index from them
         directly (they are all large integers in the same range)."""
         blocks = make_blocks(4, 16)
-        client = AdditivePirClient(blocks, chunk_bytes=8, keypair=shared_keypair)
+        client = AdditivePirClient(blocks, chunk_bytes=8, keypair=shared_keypair, log_queries=True)
         client.retrieve(2)
         query = client.server.queries_seen[-1]
         assert len(query) == 4

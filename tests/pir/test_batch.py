@@ -1,0 +1,110 @@
+"""Tests for batched PIR retrieval helpers and opt-in adversary logging."""
+
+import random
+
+import pytest
+
+from repro.exceptions import PirError
+from repro.pir import (
+    TwoServerXorPir,
+    XorPirServer,
+    indices_mask,
+    mask_indices,
+    random_subset_masks,
+    retrieve_many,
+    xor_bytes,
+)
+
+
+def make_blocks(count=8, size=32, seed=0):
+    rng = random.Random(seed)
+    return [bytes(rng.randrange(256) for _ in range(size)) for _ in range(count)]
+
+
+class TestMaskHelpers:
+    def test_roundtrip(self):
+        indices = [0, 3, 7, 12]
+        assert mask_indices(indices_mask(indices)) == indices
+
+    def test_empty_mask(self):
+        assert mask_indices(0) == []
+        assert indices_mask([]) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(PirError):
+            mask_indices(-1)
+        with pytest.raises(PirError):
+            indices_mask([-2])
+
+    def test_random_masks_are_bounded(self):
+        rng = random.Random(5)
+        masks = random_subset_masks(rng, num_blocks=10, count=50)
+        assert len(masks) == 50
+        assert all(0 <= mask < (1 << 10) for mask in masks)
+
+    def test_random_masks_count_zero(self):
+        assert random_subset_masks(random.Random(1), 4, 0) == []
+
+    def test_random_masks_invalid_arguments(self):
+        with pytest.raises(PirError):
+            random_subset_masks(random.Random(1), 0, 3)
+        with pytest.raises(PirError):
+            random_subset_masks(random.Random(1), 4, -1)
+
+
+class TestAnswerMask:
+    def test_mask_answer_matches_subset_answer(self):
+        blocks = make_blocks(6, 16)
+        server = XorPirServer(blocks)
+        subset = {0, 2, 5}
+        assert server.answer_mask(indices_mask(subset)) == server.answer(subset)
+
+    def test_out_of_range_mask_rejected(self):
+        server = XorPirServer(make_blocks(3, 8))
+        with pytest.raises(PirError):
+            server.answer_mask(1 << 3)
+
+    def test_answer_many(self):
+        blocks = make_blocks(5, 8)
+        server = XorPirServer(blocks)
+        masks = [indices_mask({0}), indices_mask({1, 2})]
+        answers = server.answer_many(masks)
+        assert answers[0] == blocks[0]
+        assert answers[1] == xor_bytes(blocks[1], blocks[2])
+
+
+class TestBatchedProtocol:
+    def test_retrieve_many_front_end(self):
+        blocks = make_blocks(10, 24)
+        pir = TwoServerXorPir(blocks)
+        indices = [9, 0, 4, 4]
+        assert retrieve_many(pir, indices) == [blocks[index] for index in indices]
+
+    def test_retrieve_many_rejects_bad_index(self):
+        pir = TwoServerXorPir(make_blocks(4, 8))
+        with pytest.raises(PirError):
+            pir.retrieve_many([0, 4])
+
+    def test_retrieve_many_empty(self):
+        pir = TwoServerXorPir(make_blocks(4, 8))
+        assert pir.retrieve_many([]) == []
+
+    def test_logging_defaults_off(self):
+        """The adversary-view log must not grow during normal operation
+        (it previously grew by one entry per retrieval, unbounded)."""
+        pir = TwoServerXorPir(make_blocks(6, 8))
+        pir.retrieve_many(list(range(6)) * 3)
+        pir.retrieve(2)
+        assert pir.server_a.queries_seen == []
+        assert pir.server_b.queries_seen == []
+
+    def test_logging_opt_in_records_batch(self):
+        pir = TwoServerXorPir(make_blocks(6, 8), log_queries=True)
+        pir.retrieve_many([1, 3])
+        assert len(pir.server_a.queries_seen) == 2
+        assert len(pir.server_b.queries_seen) == 2
+        # server B's subset differs from server A's by exactly the wanted index
+        for wanted, seen_a, seen_b in zip(
+            [1, 3], pir.server_a.queries_seen, pir.server_b.queries_seen
+        ):
+            assert seen_a.symmetric_difference(seen_b) == {wanted}

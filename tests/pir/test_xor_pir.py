@@ -71,7 +71,7 @@ class TestTwoServerProtocol:
         same retrieval produces different queries, and the distribution of
         subset sizes does not depend on which block is fetched."""
         blocks = make_blocks(8, 8)
-        pir = TwoServerXorPir(blocks)
+        pir = TwoServerXorPir(blocks, log_queries=True)
         for _ in range(30):
             pir.retrieve(2)
         queries = pir.server_a.queries_seen

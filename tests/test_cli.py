@@ -129,6 +129,49 @@ class TestQueryCommand:
         assert "0 -> 33" in capsys.readouterr().out
 
 
+class TestBatchCommand:
+    def test_batch_runs_workload_through_engine(self, tmp_path, capsys):
+        network_file = tmp_path / "net.txt"
+        main(["generate", "--nodes", "70", "--seed", "2", "--output", str(network_file)])
+        code = main(
+            [
+                "batch",
+                "--network",
+                str(network_file),
+                "--page-size",
+                "256",
+                "--queries",
+                "5",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "queries         : 5" in output
+        assert "costs correct   : True" in output
+        assert "indistinguishable: True" in output
+        assert "page cache" in output
+
+    def test_batch_no_verify_skips_costs(self, tmp_path, capsys):
+        network_file = tmp_path / "net.txt"
+        main(["generate", "--nodes", "70", "--seed", "2", "--output", str(network_file)])
+        code = main(
+            [
+                "batch",
+                "--network",
+                str(network_file),
+                "--page-size",
+                "256",
+                "--queries",
+                "3",
+                "--no-verify",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "costs correct" not in output
+        assert "queries         : 3" in output
+
+
 class TestExperimentCommand:
     def test_table2_runs_quickly(self, capsys):
         assert main(["experiment", "table2"]) == 0
