@@ -14,6 +14,7 @@ def test_ablation_approximate(benchmark, record_result):
     record_result(
         "ablation_approximate",
         format_table(rows, "Ablation: APX (bounded deviation) vs exact PI (Oldenburg)"),
+        data=rows,
     )
     exact = rows[0]
     assert exact["scheme"] == "PI (exact)"

@@ -10,6 +10,7 @@ def test_ablation_region_compression(benchmark, record_result):
     record_result(
         "ablation_region_compression",
         format_table(rows, "Ablation: compact vs standard region codec (Fd size)"),
+        data=rows,
     )
     assert len(rows) == 3
     for row in rows:

@@ -10,6 +10,7 @@ def test_ablation_oram_mechanism(benchmark, record_result):
     record_result(
         "ablation_oram_mechanism",
         format_table(rows, "Ablation: square-root ORAM physical cost vs trivial scan"),
+        data=rows,
     )
     for row in rows:
         # online cost is O(sqrt N) slots per access versus N for the scan

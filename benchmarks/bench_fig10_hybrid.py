@@ -18,7 +18,7 @@ def test_fig10_hybrid(benchmark, record_result):
         f"\nCI reference: response = {data['ci_response_s']} s, "
         f"storage = {data['ci_storage_mb']} MB, max |S_ij| = {data['max_region_set_size']}\n"
     )
-    record_result("fig10_hybrid", text)
+    record_result("fig10_hybrid", text, data=data)
 
     rows = data["hybrid"]
     # smaller thresholds replace more pairs, cost more space and respond faster

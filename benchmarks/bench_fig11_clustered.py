@@ -14,7 +14,7 @@ def test_fig11_clustered(benchmark, record_result):
         f"\nCI reference: response = {data['ci_response_s']} s, "
         f"storage = {data['ci_storage_mb']} MB\n"
     )
-    record_result("fig11_clustered", text)
+    record_result("fig11_clustered", text, data=data)
 
     rows = data["clustered"]
     # larger clusters mean fewer regions and a smaller network index ...

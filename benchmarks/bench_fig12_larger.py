@@ -10,6 +10,7 @@ def test_fig12_larger(benchmark, record_result):
     record_result(
         "fig12_larger",
         format_table(rows, "Figure 12: response time and space on Denmark / India / North America"),
+        data=rows,
     )
     by_key = {(row["dataset"], row["scheme"]): row for row in rows}
     for dataset in ("Den.", "Ind.", "Nor."):

@@ -10,6 +10,7 @@ def test_fig5_lm_tuning(benchmark, record_result):
     record_result(
         "fig5_lm_tuning",
         format_table(rows, "Figure 5: LM response time and space vs. number of landmarks (Argentina)"),
+        data=rows,
     )
     # space grows monotonically with the number of landmarks (Figure 5b)
     storage = [row["storage_mb"] for row in rows]

@@ -12,7 +12,7 @@ def test_fig6_obfuscation(benchmark, record_result):
     text += (
         f"\nreference lines:  CI = {data['ci_response_s']} s,  PI = {data['pi_response_s']} s\n"
     )
-    record_result("fig6_obfuscation", text)
+    record_result("fig6_obfuscation", text, data=data)
 
     # OBF response grows with the obfuscation set size
     responses = [row["response_s"] for row in rows]

@@ -10,6 +10,7 @@ def test_fig7_datasets(benchmark, record_result):
     record_result(
         "fig7_datasets",
         format_table(rows, "Figure 7: response time and space on Oldenburg / Germany / Argentina"),
+        data=rows,
     )
     by_key = {(row["dataset"], row["scheme"]): row for row in rows}
     for dataset in ("Old.", "Ger.", "Arg."):

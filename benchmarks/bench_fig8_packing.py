@@ -10,6 +10,7 @@ def test_fig8_packing(benchmark, record_result):
     record_result(
         "fig8_packing",
         format_table(rows, "Figure 8: packed (CI/PI) vs. plain (CI-P/PI-P) partitioning"),
+        data=rows,
     )
     by_key = {(row["dataset"], row["scheme"]): row for row in rows}
     for dataset in ("Old.", "Ger.", "Arg."):

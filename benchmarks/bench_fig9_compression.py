@@ -10,6 +10,7 @@ def test_fig9_compression(benchmark, record_result):
     record_result(
         "fig9_compression",
         format_table(rows, "Figure 9: with (CI/PI) vs. without (CI-C/PI-C) index compression"),
+        data=rows,
     )
     by_key = {(row["dataset"], row["scheme"]): row for row in rows}
     for dataset in ("Old.", "Ger.", "Arg."):

@@ -1,19 +1,29 @@
 """Microbenchmark: the array-backed fast path vs. the seed implementations.
 
-Two hot paths dominate every figure benchmark: client-side Dijkstra and
-per-block PIR retrieval.  This benchmark times both — the CSR-compiled search
-core against the preserved dict-based reference implementations, and batched
-integer-XOR PIR against a faithful re-implementation of the seed's
-byte-at-a-time client — and asserts the speedups the fast path exists for.
+Three hot paths dominate every figure benchmark: client-side Dijkstra,
+per-block PIR retrieval and the client-side query pipeline of the schemes.
+This benchmark times all three — the CSR-compiled search core against the
+preserved dict-based reference implementations, batched integer-XOR PIR
+against a faithful re-implementation of the seed's byte-at-a-time client,
+and batched CI/PI query execution through the engine against the PR 1
+client path (dict-merge ``RoadNetwork`` assembly plus a per-query CSR
+compile) — and asserts the speedups the fast path exists for.
 
-Run it directly (``PYTHONPATH=src python benchmarks/bench_micro_fastpath.py``)
-or through pytest (``PYTHONPATH=src python -m pytest
-benchmarks/bench_micro_fastpath.py``).
+Run it directly (``PYTHONPATH=src python benchmarks/bench_micro_fastpath.py``,
+add ``--json`` to also write ``benchmarks/results/micro_fastpath.json``) or
+through pytest (``PYTHONPATH=src python -m pytest
+benchmarks/bench_micro_fastpath.py``), which records both the text and the
+JSON result files.
 """
 
 import random
 import time
+from contextlib import contextmanager
 
+import repro.schemes.assembly as assembly
+from repro.costmodel import SystemSpec
+from repro.engine import QueryEngine
+from repro.bench.workloads import generate_hotspot_workload, generate_workload
 from repro.network import (
     all_pairs_sample_costs,
     csr_for,
@@ -24,6 +34,7 @@ from repro.network import (
     dijkstra_tree,
 )
 from repro.pir import TwoServerXorPir
+from repro.schemes import ConciseIndexScheme, PassageIndexScheme
 
 
 def _reference_all_pairs(network, pairs):
@@ -154,6 +165,110 @@ def run_pir_microbench(num_blocks=96, block_bytes=512, num_retrievals=60, seed=1
     }
 
 
+# ---------------------------------------------------------------------- #
+# PR 1 client path: per-query index-entry decode, dict-merge assembly and a
+# per-query CSR compile (the query pipeline before it became CSR-native)
+# ---------------------------------------------------------------------- #
+def _pr1_decode_index_entry(pages, key):
+    """PR 1 decoded every fetched index page on every query (no page cache)."""
+    from repro.schemes.index_entries import (
+        IndexEntry,
+        _decode_page_entries,
+        _resolve_page,
+    )
+
+    regions, edges = set(), set()
+    found_regions = found_edges = False
+    for page_bytes in pages:
+        for entry in _resolve_page(_decode_page_entries(page_bytes)):
+            if entry.key != key:
+                continue
+            if entry.regions is not None:
+                regions |= entry.regions
+                found_regions = True
+            if entry.edges is not None:
+                edges |= entry.edges
+                found_edges = True
+    if found_regions:
+        return IndexEntry(key, frozenset(regions), None)
+    if found_edges:
+        return IndexEntry(key, None, frozenset(edges))
+    return None
+
+
+def _pr1_region_csr(payload_groups):
+    return csr_for(assembly.reference_region_graph(payload_groups))
+
+
+def _pr1_passage_csr(payload_groups, index_pages, pair, entry=None):
+    if entry is None:
+        entry = _pr1_decode_index_entry(index_pages, pair)
+    return csr_for(
+        assembly.reference_passage_graph(payload_groups, index_pages, pair, entry)
+    )
+
+
+@contextmanager
+def _pr1_client_path():
+    """Route scheme queries through the dict-merge reference assembly."""
+    saved = (assembly.assemble_region_csr, assembly.assemble_passage_csr)
+    assembly.assemble_region_csr = _pr1_region_csr
+    assembly.assemble_passage_csr = _pr1_passage_csr
+    try:
+        yield
+    finally:
+        assembly.assemble_region_csr, assembly.assemble_passage_csr = saved
+
+
+def run_scheme_query_microbench(num_nodes=1000, num_queries=80, seed=13):
+    """End-to-end batched CI/PI queries: CSR-native pipeline vs. the PR 1 path.
+
+    Both sides execute full engine batches (every PIR round, plan checks and
+    all) over a hotspot workload — serving batches concentrate on popular
+    source/destination pairs, which is exactly what the engine's decode cache
+    exists for.  Only the client-side pipeline differs: direct CSR interning
+    with page-level entry decoding and the assembled-subgraph cache, versus
+    the PR 1 path (per-query index-entry decode, dict-based ``RoadNetwork``
+    merge, per-query CSR compile).  PR 1's header/region decode caching is
+    active on both sides.
+    """
+    network = random_planar_network(num_nodes, seed=seed)
+    spec = SystemSpec(page_size=1024)
+    pairs = generate_hotspot_workload(
+        network, count=num_queries, seed=seed, hot_pairs=10, hot_fraction=0.75
+    )
+    results = {}
+    for scheme_cls in (ConciseIndexScheme, PassageIndexScheme):
+        scheme = scheme_cls.build(network, spec=spec)
+
+        def run_fast():
+            # a fresh engine per run: every repeat starts with a cold cache
+            engine = QueryEngine(scheme)
+            return engine.run_batch(pairs, verify_costs=False, pipeline=False)
+
+        def run_reference():
+            with _pr1_client_path():
+                engine = QueryEngine(scheme)
+                return engine.run_batch(pairs, verify_costs=False, pipeline=False)
+
+        fast_s, fast_batch = _time(run_fast)
+        reference_s, reference_batch = _time(run_reference)
+        for fast, reference in zip(fast_batch.results, reference_batch.results):
+            assert fast.path.nodes == reference.path.nodes, \
+                "CSR-native pipeline disagrees with the PR 1 client path"
+            assert abs(fast.path.cost - reference.path.cost) <= 1e-9 * max(
+                1.0, abs(reference.path.cost)
+            )
+        results[scheme.name] = {
+            "nodes": num_nodes,
+            "queries": num_queries,
+            "fast_s": fast_s,
+            "reference_s": reference_s,
+            "speedup": reference_s / fast_s,
+        }
+    return results
+
+
 def _format(name, result):
     return (
         f"{name}: reference {result['reference_s'] * 1000:.1f} ms, "
@@ -162,17 +277,44 @@ def _format(name, result):
     )
 
 
-def test_fastpath_microbench(record_result):
+def _run_all():
     dijkstra = run_dijkstra_microbench()
     pir = run_pir_microbench()
-    text = "\n".join([_format("dijkstra", dijkstra), _format("xor-pir", pir)]) + "\n"
-    record_result("micro_fastpath", text)
-    # the acceptance bar is 3x; assert a margin below the typically observed
-    # speedups so the check stays robust on slow/loaded machines
-    assert dijkstra["speedup"] >= 3.0, f"dijkstra fast path too slow: {dijkstra}"
-    assert pir["speedup"] >= 3.0, f"batched PIR too slow: {pir}"
+    schemes = run_scheme_query_microbench()
+    results = {"dijkstra": dijkstra, "xor_pir": pir}
+    results.update({f"batch_{name}": result for name, result in schemes.items()})
+    return results
+
+
+def test_fastpath_microbench(record_result):
+    results = _run_all()
+    text = "\n".join(_format(name, result) for name, result in results.items()) + "\n"
+    record_result("micro_fastpath", text, data=results)
+    # the acceptance bar is 3x for the substrate and 2x for the end-to-end
+    # scheme queries; the typically observed speedups sit well above both, so
+    # the checks stay robust on slow/loaded machines
+    assert results["dijkstra"]["speedup"] >= 3.0, f"dijkstra fast path too slow: {results}"
+    assert results["xor_pir"]["speedup"] >= 3.0, f"batched PIR too slow: {results}"
+    assert results["batch_CI"]["speedup"] >= 2.0, f"CI query pipeline too slow: {results}"
+    assert results["batch_PI"]["speedup"] >= 2.0, f"PI query pipeline too slow: {results}"
 
 
 if __name__ == "__main__":
-    print(_format("dijkstra", run_dijkstra_microbench()))
-    print(_format("xor-pir", run_pir_microbench()))
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="also write benchmarks/results/micro_fastpath.json",
+    )
+    args = parser.parse_args()
+    all_results = _run_all()
+    for result_name, result in all_results.items():
+        print(_format(result_name, result))
+    if args.json:
+        from conftest import RESULTS_DIR, write_json_result
+
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = write_json_result(RESULTS_DIR, "micro_fastpath", all_results)
+        print(f"json written: {path}")

@@ -10,6 +10,7 @@ def test_section4_full_materialization(benchmark, record_result):
     record_result(
         "section4_full_materialization",
         format_table(rows, "Section 4: space needed to materialise all shortest paths"),
+        data=rows,
     )
     assert len(rows) == 3
     for row in rows:

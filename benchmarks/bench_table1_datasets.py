@@ -7,7 +7,7 @@ from conftest import run_once
 
 def test_table1_datasets(benchmark, record_result):
     rows = run_once(benchmark, table1_datasets)
-    record_result("table1_datasets", format_table(rows, "Table 1: road networks"))
+    record_result("table1_datasets", format_table(rows, "Table 1: road networks"), data=rows)
     assert len(rows) == 6
     for row in rows:
         assert row["generated_nodes"] > 0

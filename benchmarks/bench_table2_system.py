@@ -7,7 +7,7 @@ from conftest import run_once
 
 def test_table2_system(benchmark, record_result):
     rows = run_once(benchmark, table2_system)
-    record_result("table2_system", format_table(rows, "Table 2: system specification"))
+    record_result("table2_system", format_table(rows, "Table 2: system specification"), data=rows)
     parameters = {row["parameter"] for row in rows}
     assert "SCP encryption/decryption rate" in parameters
     assert "Max PIR file size" in parameters

@@ -10,6 +10,7 @@ def test_table3_components(benchmark, record_result):
     record_result(
         "table3_components",
         format_table(rows, "Table 3: response-time components (Argentina stand-in)"),
+        data=rows,
     )
     by_scheme = {row["scheme"]: row for row in rows}
 

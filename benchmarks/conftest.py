@@ -9,6 +9,8 @@ the same rows/series the paper reports — to ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import json
+import time
 from pathlib import Path
 
 import pytest
@@ -22,13 +24,32 @@ def results_dir() -> Path:
     return RESULTS_DIR
 
 
+def write_json_result(results_dir: Path, name: str, data) -> Path:
+    """Write ``results/<name>.json``: a machine-readable result envelope.
+
+    The envelope records the benchmark name, a UNIX timestamp and the raw
+    rows/series the benchmark produced, so external tooling can track the
+    performance trajectory across commits without parsing the text reports.
+    """
+    path = results_dir / f"{name}.json"
+    envelope = {"benchmark": name, "recorded_at": time.time(), "data": data}
+    path.write_text(json.dumps(envelope, indent=2, default=str) + "\n", encoding="utf-8")
+    return path
+
+
 @pytest.fixture()
 def record_result(results_dir):
-    """Write a named, human-readable result file and echo it to stdout."""
+    """Write a named, human-readable result file and echo it to stdout.
 
-    def _record(name: str, text: str) -> None:
+    When ``data`` is given (the raw rows/series behind the text report), a
+    machine-readable ``results/<name>.json`` twin is written as well.
+    """
+
+    def _record(name: str, text: str, data=None) -> None:
         path = results_dir / f"{name}.txt"
         path.write_text(text, encoding="utf-8")
+        if data is not None:
+            write_json_result(results_dir, name, data)
         print(f"\n===== {name} =====\n{text}")
 
     return _record

@@ -35,6 +35,7 @@ from .reporting import format_series, format_table
 from .runner import WorkloadSummary, run_obfuscation_workload, run_workload
 from .workloads import (
     DEFAULT_WORKLOAD_SIZE,
+    generate_hotspot_workload,
     generate_long_distance_workload,
     generate_workload,
 )
@@ -63,6 +64,7 @@ __all__ = [
     "fig9_compression",
     "format_series",
     "format_table",
+    "generate_hotspot_workload",
     "generate_long_distance_workload",
     "generate_workload",
     "get_cache",

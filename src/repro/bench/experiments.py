@@ -189,6 +189,7 @@ def fig5_lm_tuning(
     landmark_counts: Sequence[int] = (1, 2, 5, 10, 20),
     num_queries: int = DEFAULT_NUM_QUERIES,
     profile: str = "quick",
+    workers: int = 1,
 ) -> List[Dict[str, object]]:
     """Figure 5: LM response time and space vs. the number of landmarks."""
     cache = get_cache(profile)
@@ -196,7 +197,7 @@ def fig5_lm_tuning(
     rows = []
     for count in landmark_counts:
         scheme = _build_lm(cache, dataset, count, workload)
-        summary = run_workload(scheme, workload)
+        summary = run_workload(scheme, workload, workers=workers)
         rows.append(
             {
                 "landmarks": count,
@@ -216,6 +217,7 @@ def table3_components(
     num_queries: int = DEFAULT_NUM_QUERIES,
     profile: str = "quick",
     num_landmarks: int = 5,
+    workers: int = 1,
 ) -> List[Dict[str, object]]:
     """Table 3: response-time decomposition and page accesses for AF, LM, CI, PI."""
     cache = get_cache(profile)
@@ -228,7 +230,7 @@ def table3_components(
     ]
     rows = []
     for scheme in schemes:
-        summary = run_workload(scheme, workload)
+        summary = run_workload(scheme, workload, workers=workers)
         paper = PAPER_TABLE3.get(scheme.name, {})
         data_accesses = summary.mean_page_accesses.get("data", 0.0) + (
             summary.mean_page_accesses.get("combined", 0.0)
@@ -263,12 +265,13 @@ def fig6_obfuscation(
     set_sizes: Sequence[int] = (20, 40, 60, 80, 100),
     num_queries: int = 20,
     profile: str = "quick",
+    workers: int = 1,
 ) -> Dict[str, object]:
     """Figure 6: OBF response time vs. obfuscation set size, with CI/PI reference lines."""
     cache = get_cache(profile)
     workload = _workload(cache, dataset, num_queries)
-    ci_summary = run_workload(_build_ci(cache, dataset), workload)
-    pi_summary = run_workload(_build_pi(cache, dataset), workload)
+    ci_summary = run_workload(_build_ci(cache, dataset), workload, workers=workers)
+    pi_summary = run_workload(_build_pi(cache, dataset), workload, workers=workers)
     rows = []
     for size in set_sizes:
         obf = ObfuscationScheme(cache.network(dataset), spec=cache.spec, set_size=size, seed=size)
@@ -288,6 +291,7 @@ def fig7_datasets(
     num_queries: int = DEFAULT_NUM_QUERIES,
     profile: str = "quick",
     num_landmarks: int = 5,
+    workers: int = 1,
 ) -> List[Dict[str, object]]:
     """Figure 7: AF/LM/CI/PI response time and space on the smaller networks."""
     cache = get_cache(profile)
@@ -301,7 +305,7 @@ def fig7_datasets(
             _build_pi(cache, dataset),
         ]
         for scheme in schemes:
-            summary = run_workload(scheme, workload)
+            summary = run_workload(scheme, workload, workers=workers)
             rows.append(
                 {
                     "dataset": dataset_spec(dataset).label,
@@ -320,6 +324,7 @@ def fig8_packing(
     datasets: Sequence[str] = tuple(SMALL_DATASETS),
     num_queries: int = DEFAULT_NUM_QUERIES,
     profile: str = "quick",
+    workers: int = 1,
 ) -> List[Dict[str, object]]:
     """Figure 8: CI/PI with packed vs. plain KD-tree partitioning."""
     cache = get_cache(profile)
@@ -333,7 +338,7 @@ def fig8_packing(
             ("PI-P", _build_pi(cache, dataset, packed=False)),
         ]
         for label, scheme in variants:
-            summary = run_workload(scheme, workload)
+            summary = run_workload(scheme, workload, workers=workers)
             rows.append(
                 {
                     "dataset": dataset_spec(dataset).label,
@@ -353,6 +358,7 @@ def fig9_compression(
     datasets: Sequence[str] = tuple(SMALL_DATASETS),
     num_queries: int = DEFAULT_NUM_QUERIES,
     profile: str = "quick",
+    workers: int = 1,
 ) -> List[Dict[str, object]]:
     """Figure 9: CI/PI with and without in-page index compression."""
     cache = get_cache(profile)
@@ -366,7 +372,7 @@ def fig9_compression(
             ("PI-C", _build_pi(cache, dataset, compress=False)),
         ]
         for label, scheme in variants:
-            summary = run_workload(scheme, workload)
+            summary = run_workload(scheme, workload, workers=workers)
             rows.append(
                 {
                     "dataset": dataset_spec(dataset).label,
@@ -387,6 +393,7 @@ def fig10_hybrid(
     thresholds: Optional[Sequence[int]] = None,
     num_queries: int = DEFAULT_NUM_QUERIES,
     profile: str = "quick",
+    workers: int = 1,
 ) -> Dict[str, object]:
     """Figure 10: distribution of |S_ij| and HY's space/time trade-off vs. threshold."""
     cache = get_cache(profile)
@@ -405,11 +412,11 @@ def fig10_hybrid(
         step = max(1, max_size // 5)
         thresholds = sorted({max(1, step * k) for k in range(1, 6)})
 
-    ci_summary = run_workload(_build_ci(cache, dataset), workload)
+    ci_summary = run_workload(_build_ci(cache, dataset), workload, workers=workers)
     rows = []
     for threshold in thresholds:
         scheme = _build_hybrid(cache, dataset, threshold)
-        summary = run_workload(scheme, workload)
+        summary = run_workload(scheme, workload, workers=workers)
         rows.append(
             {
                 "threshold": threshold,
@@ -435,15 +442,16 @@ def fig11_clustered(
     cluster_sizes: Sequence[int] = (2, 4, 8, 16),
     num_queries: int = DEFAULT_NUM_QUERIES,
     profile: str = "quick",
+    workers: int = 1,
 ) -> Dict[str, object]:
     """Figure 11: PI* response time and space vs. the number of cluster pages."""
     cache = get_cache(profile)
     workload = _workload(cache, dataset, num_queries)
-    ci_summary = run_workload(_build_ci(cache, dataset), workload)
+    ci_summary = run_workload(_build_ci(cache, dataset), workload, workers=workers)
     rows = []
     for cluster_pages in cluster_sizes:
         scheme = _build_clustered(cache, dataset, cluster_pages)
-        summary = run_workload(scheme, workload)
+        summary = run_workload(scheme, workload, workers=workers)
         rows.append(
             {
                 "cluster_pages": cluster_pages,
@@ -467,6 +475,7 @@ def fig12_larger(
     num_queries: int = DEFAULT_NUM_QUERIES,
     profile: str = "quick",
     cluster_pages: int = 2,
+    workers: int = 1,
 ) -> List[Dict[str, object]]:
     """Figure 12: CI, HY and PI* on the larger networks."""
     cache = get_cache(profile)
@@ -482,7 +491,7 @@ def fig12_larger(
             _build_clustered(cache, dataset, cluster_pages),
         ]
         for scheme in schemes:
-            summary = run_workload(scheme, workload)
+            summary = run_workload(scheme, workload, workers=workers)
             rows.append(
                 {
                     "dataset": dataset_spec(dataset).label,

@@ -38,6 +38,11 @@ class WorkloadSummary:
     all_costs_correct: bool
     #: Whether every query produced the identical adversary view.
     indistinguishable: bool
+    #: Client-side decode-cache statistics of the underlying batch.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Worker contexts the batch was sharded across.
+    workers: int = 1
 
     def as_row(self) -> Dict[str, object]:
         """A flat dictionary convenient for report tables."""
@@ -48,6 +53,8 @@ class WorkloadSummary:
             "communication_s": round(self.mean_communication_s, 2),
             "client_s": round(self.mean_client_s, 4),
             "storage_mb": round(self.storage_mb, 3),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
         }
         for file_name, accesses in sorted(self.mean_page_accesses.items()):
             row[f"pages_{file_name}"] = round(accesses, 1)
@@ -61,6 +68,9 @@ def run_workload(
     verify_costs: bool = True,
     cost_tolerance: float = 1e-4,
     engine: Optional[QueryEngine] = None,
+    workers: int = 1,
+    cache_entries: int = 512,
+    pipeline: bool = True,
 ) -> WorkloadSummary:
     """Execute every query of the workload and aggregate the paper's metrics.
 
@@ -68,13 +78,23 @@ def run_workload(
     per call unless ``engine`` is supplied, e.g. to share its page cache
     across several workloads of the same scheme): queries execute under the
     scheme's fixed plan with client-side decode caching, and the true-cost
-    verification is batched by source over the compiled network.
+    verification is batched by source over the compiled network.  ``workers``
+    shards the batch across that many engine worker contexts and ``pipeline``
+    overlaps PIR retrieval with the client-side solve; both leave the results
+    bit-identical to serial execution.  ``cache_entries`` sizes each worker's
+    decode cache (ignored when ``engine`` is supplied).
     """
     if not pairs:
         raise SchemeError("cannot run an empty workload")
     if engine is None:
-        engine = QueryEngine(scheme)
-    batch = engine.run_batch(pairs, verify_costs=verify_costs, cost_tolerance=cost_tolerance)
+        engine = QueryEngine(scheme, cache_entries=cache_entries)
+    batch = engine.run_batch(
+        pairs,
+        verify_costs=verify_costs,
+        cost_tolerance=cost_tolerance,
+        workers=workers,
+        pipeline=pipeline,
+    )
 
     responses: List[ResponseTime] = []
     per_file_accesses: Dict[str, float] = {}
@@ -106,6 +126,9 @@ def run_workload(
         data_file_utilization=data_utilization,
         all_costs_correct=costs_correct,
         indistinguishable=batch.indistinguishable,
+        cache_hits=batch.cache_hits,
+        cache_misses=batch.cache_misses,
+        workers=batch.workers,
     )
 
 

@@ -38,6 +38,32 @@ def generate_workload(
     return pairs
 
 
+def generate_hotspot_workload(
+    network: RoadNetwork,
+    count: int = DEFAULT_WORKLOAD_SIZE,
+    seed: int = 42,
+    hot_pairs: int = 10,
+    hot_fraction: float = 0.75,
+) -> List[QueryPair]:
+    """A workload with pair locality: most queries repeat a few hot pairs.
+
+    Serving workloads are not uniform — commuter traffic concentrates on a
+    small set of popular source/destination pairs.  ``hot_fraction`` of the
+    queries are drawn (uniformly) from ``hot_pairs`` fixed pairs; the rest
+    are fresh uniform draws.  The result is shuffled so hot and cold queries
+    interleave the way they would in a real batch.
+    """
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError(f"hot_fraction must be in [0, 1], got {hot_fraction}")
+    rng = random.Random(seed)
+    hot = generate_workload(network, count=hot_pairs, seed=seed)
+    num_hot = int(count * hot_fraction)
+    cold = generate_workload(network, count=count - num_hot, seed=seed + 1)
+    pairs = [rng.choice(hot) for _ in range(num_hot)] + cold
+    rng.shuffle(pairs)
+    return pairs
+
+
 def generate_long_distance_workload(
     network: RoadNetwork,
     count: int = DEFAULT_WORKLOAD_SIZE,

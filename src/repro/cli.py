@@ -132,6 +132,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-entries", type=int, default=512, help="page-cache capacity (decoded pages)"
     )
     batch.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker contexts to shard the batch across (results are identical "
+        "to serial execution)",
+    )
+    batch.add_argument(
+        "--no-pipeline",
+        action="store_true",
+        help="disable overlapping PIR retrieval with client-side decode/search",
+    )
+    batch.add_argument(
         "--no-verify", action="store_true", help="skip true-cost verification"
     )
 
@@ -249,12 +261,22 @@ def _command_batch(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.workers <= 0:
+        print(f"error: --workers must be positive, got {args.workers}", file=sys.stderr)
+        return 2
     scheme = _build_scheme(args)
     pairs = generate_workload(scheme.network, count=args.queries, seed=args.seed)
     engine = QueryEngine(scheme, cache_entries=args.cache_entries)
-    batch = engine.run_batch(pairs, verify_costs=not args.no_verify)
+    batch = engine.run_batch(
+        pairs,
+        verify_costs=not args.no_verify,
+        workers=args.workers,
+        pipeline=not args.no_pipeline,
+    )
     print(f"scheme          : {scheme.name}")
     print(f"queries         : {batch.num_queries}")
+    print(f"workers         : {batch.workers}"
+          f"{' (pipelined)' if not args.no_pipeline else ''}")
     print(f"wall time       : {batch.wall_seconds:.3f} s "
           f"({batch.queries_per_second:.1f} queries/s)")
     print(f"mean response   : {batch.mean_response_s:.2f} s (simulated)")

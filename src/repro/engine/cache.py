@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Hashable, Optional
 
 
@@ -12,9 +13,13 @@ class LruCache:
     key (making it most-recent) and a ``put`` beyond capacity evicts the
     oldest entry.  Values must tolerate being shared between users — the
     engine only caches objects that are treated as read-only after decode.
+
+    Operations are guarded by a lock: within one engine worker the pipelined
+    retrieval of the next query runs concurrently with the solve of the
+    current one, and both touch the worker's cache.
     """
 
-    __slots__ = ("capacity", "hits", "misses", "_entries")
+    __slots__ = ("capacity", "hits", "misses", "_entries", "_lock")
 
     def __init__(self, capacity: int = 256) -> None:
         if capacity <= 0:
@@ -23,29 +28,33 @@ class LruCache:
         self.hits = 0
         self.misses = 0
         self._entries: Dict[Hashable, Any] = {}
+        self._lock = threading.Lock()
 
     def get(self, key: Hashable) -> Optional[Any]:
         """The cached value for ``key``, or ``None`` on a miss."""
-        try:
-            value = self._entries.pop(key)
-        except KeyError:
-            self.misses += 1
-            return None
-        self._entries[key] = value  # re-insert as most recently used
-        self.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._entries.pop(key)
+            except KeyError:
+                self.misses += 1
+                return None
+            self._entries[key] = value  # re-insert as most recently used
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert or refresh ``key``; evicts the least-recent entry when full."""
-        entries = self._entries
-        if key in entries:
-            del entries[key]
-        elif len(entries) >= self.capacity:
-            del entries[next(iter(entries))]
-        entries[key] = value
+        with self._lock:
+            entries = self._entries
+            if key in entries:
+                del entries[key]
+            elif len(entries) >= self.capacity:
+                del entries[next(iter(entries))]
+            entries[key] = value
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     @property
     def hit_rate(self) -> float:

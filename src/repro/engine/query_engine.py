@@ -6,14 +6,29 @@ against one scheme under the scheme's single fixed
 still runs the full multi-round PIR protocol and is checked against the plan
 — but the engine makes the *client side* fast:
 
-* an LRU page cache (see :class:`~repro.engine.cache.LruCache`) shares the
-  decoded header and decoded region pages across the queries of a batch, so
-  identical page contents are parsed once instead of once per query;
+* the batch is **sharded across worker contexts** (``run_batch(...,
+  workers=N)``): each context owns its own PIR client state and its own LRU
+  decode cache, so shards execute concurrently without sharing mutable
+  protocol state, and their statistics are merged into one
+  :class:`BatchResult`;
+* within a worker the plan is **pipelined**: queries are split into a
+  retrieval phase (the PIR rounds) and a solve phase (CSR assembly plus the
+  search, see :class:`~repro.schemes.base.PreparedQuery`), and the retrieval
+  rounds of the next query overlap the solve of the current one;
+* each worker's LRU cache (see :class:`~repro.engine.cache.LruCache`) shares
+  the decoded header, decoded region payloads and *assembled subgraph CSRs*
+  across the queries of its shard, so repeated region pairs cost one cache
+  probe instead of a rebuild;
 * result verification runs through the array-backed search core
   (:mod:`repro.network.indexed`), grouping the batch by source so each
   distinct source costs one Dijkstra over the compiled network;
 * indistinguishability is asserted over the whole batch (every query must
   produce the identical adversary view, Theorem 1).
+
+Results are **independent of the worker count**: dummy-page retrievals draw
+from a per-query RNG derived from the scheme's dummy seed and the query's
+position in the batch, so ``run_batch(pairs, workers=8)`` produces traces
+identical to ``run_batch(pairs, workers=1)`` (property-tested).
 
 ``repro-spc batch`` on the command line and
 :func:`repro.bench.runner.run_workload` (i.e. every figure/table benchmark)
@@ -23,17 +38,23 @@ execute through this engine.
 from __future__ import annotations
 
 import math
+import random
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import SchemeError
 from ..network import NodeId, all_pairs_sample_costs
+from ..pir import SecureCoprocessor, UsablePirSimulator
 from ..schemes import files as scheme_files
-from ..schemes.base import QueryResult, Scheme
+from ..schemes.base import PreparedQuery, QueryResult, Scheme, client_state_scope
 from .cache import LruCache
 
 QueryPair = Tuple[NodeId, NodeId]
+
+#: One (index, pair) work item of a batch.
+_IndexedPair = Tuple[int, QueryPair]
 
 
 @dataclass
@@ -49,12 +70,15 @@ class BatchResult:
     all_costs_correct: bool
     #: Whether every query produced the identical adversary view.
     indistinguishable: bool
-    #: Page-cache statistics accumulated during the batch.
+    #: Page-cache statistics accumulated during the batch (summed over the
+    #: participating worker contexts).
     cache_hits: int
     cache_misses: int
     #: Wall-clock seconds the batch took to execute (client machine time,
     #: not the simulated PIR response time).
     wall_seconds: float
+    #: Number of worker contexts the batch was sharded across.
+    workers: int = 1
 
     @property
     def num_queries(self) -> int:
@@ -80,6 +104,16 @@ class BatchResult:
         return self.cache_hits / total if total else 0.0
 
 
+class _WorkerContext:
+    """Per-shard client state: a private PIR simulator and decode cache."""
+
+    __slots__ = ("pir", "cache")
+
+    def __init__(self, pir: UsablePirSimulator, cache: LruCache) -> None:
+        self.pir = pir
+        self.cache = cache
+
+
 class QueryEngine:
     """Executes batches of private shortest-path queries against one scheme."""
 
@@ -87,7 +121,13 @@ class QueryEngine:
         self.scheme = scheme
         #: The shared plan every query of every batch runs under.
         self.plan = scheme.plan
+        self.cache_entries = cache_entries
         self.page_cache = LruCache(cache_entries)
+        #: Worker contexts, created lazily and reused across batches so their
+        #: caches keep paying off; context 0 wraps :attr:`page_cache`.
+        self._contexts: List[_WorkerContext] = [
+            _WorkerContext(scheme.pir, self.page_cache)
+        ]
 
     def execute(self, source: NodeId, target: NodeId) -> QueryResult:
         """Answer a single query through the engine's page cache."""
@@ -99,22 +139,45 @@ class QueryEngine:
         pairs: Sequence[QueryPair],
         verify_costs: bool = True,
         cost_tolerance: float = 1e-4,
+        workers: int = 1,
+        pipeline: bool = True,
     ) -> BatchResult:
         """Execute every query of ``pairs`` and verify the batch as a whole.
 
-        Cost verification is batched: the pairs are grouped by source and
-        each distinct source triggers one (early-terminating) Dijkstra over
-        the compiled full network, rather than one search per query.
+        ``workers`` shards the batch round-robin across that many worker
+        contexts (capped at the batch size); ``pipeline`` overlaps the PIR
+        retrieval of each shard's next query with the solve of its current
+        one.  Cost verification is batched: the pairs are grouped by source
+        and each distinct source triggers one (early-terminating) Dijkstra
+        over the compiled full network, rather than one search per query.
         """
         pairs = list(pairs)
         if not pairs:
             raise SchemeError("cannot run an empty batch")
-        cache = self.page_cache
-        hits_before, misses_before = cache.hits, cache.misses
+        if workers < 1:
+            raise SchemeError(f"workers must be positive, got {workers}")
+        workers = min(workers, len(pairs))
+        contexts = self._contexts_for(workers)
+        hits_before = sum(context.cache.hits for context in contexts)
+        misses_before = sum(context.cache.misses for context in contexts)
 
         started = time.perf_counter()
-        with scheme_files.decode_cache_scope(cache):
-            results = [self.scheme.query(source, target) for source, target in pairs]
+        indexed: List[_IndexedPair] = list(enumerate(pairs))
+        if workers == 1:
+            results = [result for _, result in self._run_shard(contexts[0], indexed, pipeline)]
+        else:
+            results_by_index: List[Optional[QueryResult]] = [None] * len(pairs)
+            with ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-engine"
+            ) as pool:
+                futures = [
+                    pool.submit(self._run_shard, contexts[w], indexed[w::workers], pipeline)
+                    for w in range(workers)
+                ]
+                for future in futures:
+                    for index, result in future.result():
+                        results_by_index[index] = result
+            results = results_by_index
         wall_seconds = time.perf_counter() - started
 
         views = {result.adversary_view for result in results}
@@ -137,7 +200,65 @@ class QueryEngine:
             true_costs=true_costs,
             all_costs_correct=all_costs_correct,
             indistinguishable=len(views) <= 1,
-            cache_hits=cache.hits - hits_before,
-            cache_misses=cache.misses - misses_before,
+            cache_hits=sum(context.cache.hits for context in contexts) - hits_before,
+            cache_misses=sum(context.cache.misses for context in contexts) - misses_before,
             wall_seconds=wall_seconds,
+            workers=workers,
         )
+
+    # ------------------------------------------------------------------ #
+    # worker machinery
+    # ------------------------------------------------------------------ #
+    def _contexts_for(self, workers: int) -> List[_WorkerContext]:
+        while len(self._contexts) < workers:
+            self._contexts.append(
+                _WorkerContext(self._new_pir(), LruCache(self.cache_entries))
+            )
+        return self._contexts[:workers]
+
+    def _new_pir(self) -> UsablePirSimulator:
+        scheme = self.scheme
+        return UsablePirSimulator(
+            scheme.database,
+            scp=SecureCoprocessor(scheme.spec),
+            spec=scheme.spec,
+            enforce_limits=scheme.pir.enforce_limits,
+        )
+
+    def _run_shard(
+        self,
+        context: _WorkerContext,
+        shard: List[_IndexedPair],
+        pipeline: bool,
+    ) -> List[Tuple[int, QueryResult]]:
+        """Execute one shard; returns ``(batch_index, result)`` pairs."""
+        out: List[Tuple[int, QueryResult]] = []
+        if pipeline and len(shard) > 1:
+            # one retrieval thread per worker: while this thread solves query
+            # k, the retrieval thread runs the PIR rounds of query k + 1
+            with ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-prefetch"
+            ) as prefetcher:
+                future = prefetcher.submit(self._prepare, context, shard[0])
+                for position, (index, _) in enumerate(shard):
+                    prepared = future.result()
+                    if position + 1 < len(shard):
+                        future = prefetcher.submit(self._prepare, context, shard[position + 1])
+                    out.append((index, self._solve(context, prepared)))
+        else:
+            for item in shard:
+                out.append((item[0], self._solve(context, self._prepare(context, item))))
+        return out
+
+    def _prepare(self, context: _WorkerContext, item: _IndexedPair) -> PreparedQuery:
+        index, (source, target) = item
+        # a per-query RNG keyed by the batch position keeps dummy retrievals
+        # deterministic and identical for every worker count
+        rng = random.Random(hash((self.scheme.dummy_seed, index)))
+        with scheme_files.decode_cache_scope(context.cache):
+            with client_state_scope(context.pir, rng):
+                return self.scheme.prepare_query(source, target)
+
+    def _solve(self, context: _WorkerContext, prepared: PreparedQuery) -> QueryResult:
+        with scheme_files.decode_cache_scope(context.cache):
+            return prepared.solve()

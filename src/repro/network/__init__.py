@@ -13,7 +13,7 @@ from .dijkstra import (
     shortest_path_cost,
 )
 from .generators import grid_network, random_planar_network
-from .indexed import CsrGraph, build_csr, csr_for
+from .indexed import CsrBuilder, CsrGraph, build_csr, csr_for, csr_shortest_path
 from .graph import Edge, Node, NodeId, RoadNetwork
 from .io import (
     network_from_string,
@@ -24,6 +24,7 @@ from .io import (
 from .paths import Path, SearchStats, validate_path
 
 __all__ = [
+    "CsrBuilder",
     "CsrGraph",
     "Edge",
     "Node",
@@ -37,6 +38,7 @@ __all__ = [
     "bidirectional_dijkstra",
     "build_csr",
     "csr_for",
+    "csr_shortest_path",
     "dijkstra_tree",
     "euclidean_heuristic",
     "grid_network",

@@ -75,6 +75,13 @@ def astar_search(
         def dense_heuristic(dense: int) -> float:
             return heuristic(node_ids[dense])
 
+    elif not csr.heuristic_safe:
+        # Some coordinates are placeholders (e.g. passage nodes a client
+        # merged in without knowing their position): the Euclidean bound is
+        # inadmissible, so degrade to the zero heuristic (plain Dijkstra).
+        def dense_heuristic(dense: int) -> float:
+            return 0.0
+
     result = astar_arrays(
         csr, dense_source, dense_target, dense_heuristic, stats, on_settle
     )
@@ -97,7 +104,10 @@ def reference_astar_search(
     network.node(source)
     network.node(target)
     if heuristic is None:
-        heuristic = euclidean_heuristic(network, target)
+        if getattr(network, "heuristic_safe", True):
+            heuristic = euclidean_heuristic(network, target)
+        else:
+            heuristic = zero_heuristic  # placeholder coordinates: Euclidean is inadmissible
     if source == target:
         if on_settle is not None:
             on_settle(source)

@@ -23,17 +23,13 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from ..exceptions import NoPathError
 from .graph import NodeId, RoadNetwork
 from .indexed import (
+    SCIPY_MIN_NODES as _SCIPY_MIN_NODES,
     bidirectional_arrays,
     csr_for,
     dijkstra_arrays,
     scipy_dijkstra_arrays,
 )
 from .paths import Path, SearchStats
-
-#: Below this many nodes the pure-Python core beats the SciPy call overhead
-#: (per-query scheme subgraphs are far smaller than this; the full road
-#: networks of the benchmarks are far larger).
-_SCIPY_MIN_NODES = 256
 
 
 @dataclass

@@ -56,6 +56,11 @@ class RoadNetwork:
         self._nodes: Dict[NodeId, Node] = {}
         self._adjacency: Dict[NodeId, List[Tuple[NodeId, float]]] = {}
         self._edge_count = 0
+        #: False when some node coordinates are placeholders (e.g. passage
+        #: nodes inserted by a client that never learned their position);
+        #: geometric A* heuristics are inadmissible on such graphs and fall
+        #: back to the zero heuristic.
+        self.heuristic_safe = True
         #: Compiled CSR form, managed by :func:`repro.network.indexed.csr_for`.
         #: Networks are append-only, so the cache is keyed (and invalidated)
         #: by the ``(num_nodes, num_edges)`` snapshot stored alongside it.

@@ -55,7 +55,7 @@ def decode_region_payload(data: bytes) -> Dict[NodeId, Tuple[float, float, List[
         x = reader.float32()
         y = reader.float32()
         degree = reader.varint()
-        adjacency = [(reader.uint32(), reader.float32()) for _ in range(degree)]
+        adjacency = reader.adjacency_list(degree)
         nodes[node_id] = (x, y, adjacency)
     return nodes
 

@@ -18,8 +18,10 @@ from __future__ import annotations
 import abc
 import random
 import time
+from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..costmodel import CostModel, DEFAULT_SPEC, ResponseTime, SystemSpec
 from ..exceptions import PlanViolationError, SchemeError
@@ -49,6 +51,43 @@ class QueryResult:
     @property
     def total_pir_pages(self) -> int:
         return self.trace.total_pir_accesses()
+
+
+#: Per-context override of the client-side protocol state (PIR simulator and
+#: dummy-retrieval RNG).  The parallel query engine installs one override per
+#: worker so concurrent shards never share mutable PIR state or an RNG
+#: stream; outside an engine the scheme's own members are used.
+_client_state_var: ContextVar = ContextVar("repro_client_state", default=None)
+
+
+@contextmanager
+def client_state_scope(pir: "UsablePirSimulator", rng: random.Random):
+    """Route :meth:`Scheme.new_round_manager` through ``pir``/``rng`` in this context."""
+    token = _client_state_var.set((pir, rng))
+    try:
+        yield
+    finally:
+        _client_state_var.reset(token)
+
+
+class PreparedQuery:
+    """A query whose PIR rounds have completed.
+
+    Splitting a query into a *retrieval* phase (all protocol rounds, plus the
+    light decoding needed to address the next round's pages) and a *solve*
+    phase (region decoding, subgraph assembly and the shortest-path search)
+    lets the engine pipeline a batch: the PIR rounds of the next query overlap
+    the client-side solve of the current one.
+    """
+
+    __slots__ = ("_solve",)
+
+    def __init__(self, solve: Callable[[], "QueryResult"]) -> None:
+        self._solve = solve
+
+    def solve(self) -> "QueryResult":
+        """Run the remaining client-side work and produce the result."""
+        return self._solve()
 
 
 class RoundManager:
@@ -163,6 +202,7 @@ class Scheme(abc.ABC):
             spec=spec,
             enforce_limits=enforce_scp_limits,
         )
+        self.dummy_seed = dummy_seed
         self._dummy_rng = random.Random(dummy_seed)
 
     # ------------------------------------------------------------------ #
@@ -177,6 +217,10 @@ class Scheme(abc.ABC):
         return self.database.total_size_mb
 
     def new_round_manager(self, trace: AccessTrace) -> RoundManager:
+        override = _client_state_var.get()
+        if override is not None:
+            pir, rng = override
+            return RoundManager(pir, trace, rng)
         return RoundManager(self.pir, trace, self._dummy_rng)
 
     def exceeds_pir_file_limit(self) -> bool:
@@ -202,6 +246,18 @@ class Scheme(abc.ABC):
     @abc.abstractmethod
     def query(self, source: NodeId, target: NodeId) -> QueryResult:
         """Answer a shortest-path query from ``source`` to ``target``."""
+
+    def prepare_query(self, source: NodeId, target: NodeId) -> PreparedQuery:
+        """Run the PIR rounds of a query, deferring the client-side solve.
+
+        Schemes with a CSR-native client pipeline override this to return
+        after the last round, leaving region decoding, subgraph assembly and
+        the search to :meth:`PreparedQuery.solve`.  The default runs the
+        whole query eagerly, so every scheme works under the pipelined
+        engine.
+        """
+        result = self.query(source, target)
+        return PreparedQuery(lambda: result)
 
     def query_by_coordinates(
         self, source_xy: Tuple[float, float], target_xy: Tuple[float, float]

@@ -21,18 +21,19 @@ from typing import Optional
 
 from ..costmodel import DEFAULT_SPEC, SystemSpec
 from ..exceptions import SchemeError
-from ..network import NodeId, RoadNetwork, shortest_path
+from ..network import NodeId, RoadNetwork
 from ..partition import (
     BorderNodeIndex,
     Partitioning,
     compute_border_nodes,
-    merge_region_payloads,
     packed_kdtree_partition,
     plain_kdtree_partition,
 )
 from ..precompute import BorderProducts, compute_border_products
 from ..storage import Database
-from .base import QueryResult, Scheme, Timer
+from . import assembly
+from .assembly import csr_shortest_path
+from .base import PreparedQuery, QueryResult, Scheme, Timer
 from .files import (
     DATA_FILE,
     HeaderInfo,
@@ -40,7 +41,6 @@ from .files import (
     LOOKUP_FILE,
     build_lookup_file,
     build_region_data_file,
-    decode_region_pages,
     lookup_entries_per_page,
     read_lookup_entry,
 )
@@ -166,6 +166,10 @@ class ConciseIndexScheme(Scheme):
     # query processing (Section 5.4)
     # ------------------------------------------------------------------ #
     def query(self, source: NodeId, target: NodeId) -> QueryResult:
+        return self.prepare_query(source, target).solve()
+
+    def prepare_query(self, source: NodeId, target: NodeId) -> PreparedQuery:
+        """All four PIR rounds; the CSR assembly and search run in ``solve()``."""
         from ..pir import AccessTrace
 
         trace = AccessTrace()
@@ -209,9 +213,11 @@ class ConciseIndexScheme(Scheme):
             pages = rounds.fetch_many(DATA_FILE, header.data_pages_for_region(region_id))
             payloads.append(pages)
         rounds.pad(DATA_FILE, header.data_round_pages)
-        with timer:
-            decoded = [decode_region_pages(pages) for pages in payloads]
-            subgraph = merge_region_payloads(decoded)
-            path = shortest_path(subgraph, source, target)
 
-        return self.finish_query(path, trace, timer.seconds)
+        def solve() -> QueryResult:
+            with timer:
+                subgraph = assembly.assemble_region_csr(payloads)
+                path = csr_shortest_path(subgraph, source, target)
+            return self.finish_query(path, trace, timer.seconds)
+
+        return PreparedQuery(solve)

@@ -7,6 +7,11 @@ nodes and far fewer pre-computed subgraphs, so the network index shrinks —
 at the cost of fetching ``2 · cluster_pages`` region-data pages per query.
 
 The cluster size is the knob that trades space for response time (Figure 11).
+
+Query processing is inherited from :class:`PassageIndexScheme` and therefore
+CSR-native: the fetched region pages and the passage-subgraph entry are
+assembled directly into a :class:`~repro.network.indexed.CsrGraph` (see
+:mod:`repro.schemes.assembly`), with no dict-based ``RoadNetwork`` round trip.
 """
 
 from __future__ import annotations

@@ -15,6 +15,7 @@ File names are fixed constants so query plans can reference them.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -35,26 +36,30 @@ COMBINED_FILE = "combined"
 LOOKUP_ENTRY_BYTES = 4
 
 #: Client-side decode cache installed by the query engine (None = disabled).
-#: Maps ``("header", bytes)`` to a decoded :class:`HeaderInfo` and
-#: ``("region", bytes)`` to a decoded region payload.  Cached objects are
+#: Maps ``("header", bytes)`` to a decoded :class:`HeaderInfo`, ``("region",
+#: bytes)`` to a decoded region payload, and ``("csr", ...)`` to an assembled
+#: query subgraph (see :mod:`repro.schemes.assembly`).  Cached objects are
 #: treated as read-only by all query paths; the adversary-visible PIR fetches
 #: still happen for every query, only the client-side decode work is shared.
-#: Module-global and therefore not safe for overlapping installs from
-#: concurrent engines — must move onto the scheme/query path if the engine
-#: ever executes batches concurrently (see ROADMAP.md).
-_decode_cache = None
+#: Held in a :class:`~contextvars.ContextVar` so the parallel engine can
+#: install one cache per worker context without the installs interfering —
+#: every thread (and every engine) sees exactly the cache it installed.
+_decode_cache_var: ContextVar = ContextVar("repro_decode_cache", default=None)
 
 
 @contextmanager
 def decode_cache_scope(cache):
     """Install ``cache`` as the decode cache for the duration of the block."""
-    global _decode_cache
-    previous = _decode_cache
-    _decode_cache = cache
+    token = _decode_cache_var.set(cache)
     try:
         yield cache
     finally:
-        _decode_cache = previous
+        _decode_cache_var.reset(token)
+
+
+def current_decode_cache():
+    """The decode cache installed in the current context (None = disabled)."""
+    return _decode_cache_var.get()
 
 
 # ---------------------------------------------------------------------- #
@@ -145,7 +150,7 @@ class HeaderInfo:
 
     @staticmethod
     def decode(data: bytes) -> "HeaderInfo":
-        cache = _decode_cache
+        cache = _decode_cache_var.get()
         if cache is not None:
             cached = cache.get(("header", data))
             if cached is not None:
@@ -290,8 +295,12 @@ def decode_region_pages(pages: Sequence[bytes]):
     contents (the common case for repeated region fetches within a workload)
     are decoded once and shared; callers must not mutate the returned payload.
     """
-    payload = b"".join(pages)
-    cache = _decode_cache
+    return decode_region_bytes(b"".join(pages))
+
+
+def decode_region_bytes(payload: bytes):
+    """Decode one region's already-concatenated payload bytes (cached)."""
+    cache = _decode_cache_var.get()
     if cache is None:
         return decode_region_payload(payload)
     decoded = cache.get(("region", payload))

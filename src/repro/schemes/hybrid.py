@@ -20,7 +20,7 @@ from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
 from ..costmodel import DEFAULT_SPEC, SystemSpec
 from ..exceptions import SchemeError
-from ..network import NodeId, RoadNetwork, shortest_path
+from ..network import NodeId, RoadNetwork
 from ..partition import (
     BorderNodeIndex,
     Partitioning,
@@ -30,21 +30,20 @@ from ..partition import (
 )
 from ..precompute import BorderProducts, compute_border_products
 from ..storage import Database
-from .base import QueryResult, Scheme, Timer
+from . import assembly
+from .assembly import csr_shortest_path
+from .base import PreparedQuery, QueryResult, Scheme, Timer
 from .files import (
     COMBINED_FILE,
     HeaderInfo,
     LOOKUP_FILE,
     build_lookup_file,
     build_region_data_file,
-    decode_region_pages,
     lookup_entries_per_page,
     read_lookup_entry,
 )
 from .index_entries import IndexFileBuilder, decode_index_entry
-from .pi import subgraph_from_entry
 from .plan import QueryPlan, RoundSpec
-from ..partition import merge_region_payloads
 
 _PAYLOAD_RESERVE = 8
 
@@ -228,6 +227,10 @@ class HybridScheme(Scheme):
     # query processing
     # ------------------------------------------------------------------ #
     def query(self, source: NodeId, target: NodeId) -> QueryResult:
+        return self.prepare_query(source, target).solve()
+
+    def prepare_query(self, source: NodeId, target: NodeId) -> PreparedQuery:
+        """All four PIR rounds; CSR assembly and the search run in ``solve()``."""
         from ..pir import AccessTrace
 
         trace = AccessTrace()
@@ -281,14 +284,24 @@ class HybridScheme(Scheme):
             pages = rounds.fetch_many(COMBINED_FILE, header.data_pages_for_region(region_id))
             payloads.append(pages)
         rounds.pad(COMBINED_FILE, header.data_round_pages)
-        with timer:
-            decoded = [decode_region_pages(pages) for pages in payloads]
-            if entry.edges is not None:
-                if continuation_pages:
-                    entry = decode_index_entry(fetched_index + continuation_pages, key)
-                graph = subgraph_from_entry(entry, decoded)
-            else:
-                graph = merge_region_payloads(decoded)
-            path = shortest_path(graph, source, target)
+        is_subgraph_entry = entry.edges is not None
+        round3_entry = entry
 
-        return self.finish_query(path, trace, timer.seconds)
+        def solve() -> QueryResult:
+            with timer:
+                if is_subgraph_entry:
+                    # continuation pages may extend the entry; re-decode from
+                    # the full page list (skipped on an assembly-cache hit)
+                    index_pages = list(fetched_index) + continuation_pages
+                    graph = assembly.assemble_passage_csr(
+                        payloads,
+                        index_pages,
+                        key,
+                        entry=None if continuation_pages else round3_entry,
+                    )
+                else:
+                    graph = assembly.assemble_region_csr(payloads)
+                path = csr_shortest_path(graph, source, target)
+            return self.finish_query(path, trace, timer.seconds)
+
+        return PreparedQuery(solve)

@@ -356,11 +356,11 @@ def _decode_page_entries(page_bytes: bytes) -> List[_RawDecodedEntry]:
             exclusions = body.uint32_list()
         elif kind == KIND_SUBGRAPH_RAW:
             count = body.varint()
-            edges = [(body.uint32(), body.uint32(), body.float32()) for _ in range(count)]
+            edges = body.edge_list(count)
         elif kind == KIND_SUBGRAPH_DELTA:
             reference_position = body.varint()
             count = body.varint()
-            edges = [(body.uint32(), body.uint32(), body.float32()) for _ in range(count)]
+            edges = body.edge_list(count)
         else:
             raise StorageError(f"unknown index entry kind {kind}")
         entries.append(_RawDecodedEntry((i, j), kind, reference_position, regions, exclusions, edges))
@@ -390,6 +390,25 @@ def _resolve_page(entries: List[_RawDecodedEntry]) -> List[IndexEntry]:
     return resolved
 
 
+def resolved_page_entries(page_bytes: bytes) -> List[IndexEntry]:
+    """All (delta-resolved) entries of one index page.
+
+    When the query engine has a decode cache installed, identical page
+    contents resolve once and the entry list is shared; entries are frozen
+    dataclasses and safe to share between queries.
+    """
+    from .files import current_decode_cache  # deferred: files imports storage early
+
+    cache = current_decode_cache()
+    if cache is None:
+        return _resolve_page(_decode_page_entries(page_bytes))
+    resolved = cache.get(("ipage", page_bytes))
+    if resolved is None:
+        resolved = _resolve_page(_decode_page_entries(page_bytes))
+        cache.put(("ipage", page_bytes), resolved)
+    return resolved
+
+
 def decode_index_entry(pages: Sequence[bytes], key: RegionPair) -> Optional[IndexEntry]:
     """Extract (and merge, if fragmented) the entry for ``key`` from fetched pages."""
     regions: set = set()
@@ -397,8 +416,7 @@ def decode_index_entry(pages: Sequence[bytes], key: RegionPair) -> Optional[Inde
     found_regions = False
     found_edges = False
     for page_bytes in pages:
-        raw_entries = _decode_page_entries(page_bytes)
-        resolved = _resolve_page(raw_entries)
+        resolved = resolved_page_entries(page_bytes)
         for entry in resolved:
             if entry.key != key:
                 continue

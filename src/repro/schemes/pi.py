@@ -17,18 +17,19 @@ from typing import Optional
 
 from ..costmodel import DEFAULT_SPEC, SystemSpec
 from ..exceptions import SchemeError
-from ..network import NodeId, RoadNetwork, shortest_path
+from ..network import NodeId, RoadNetwork
 from ..partition import (
     BorderNodeIndex,
     Partitioning,
     compute_border_nodes,
-    merge_region_payloads,
     packed_kdtree_partition,
     plain_kdtree_partition,
 )
 from ..precompute import BorderProducts, compute_border_products
 from ..storage import Database
-from .base import QueryResult, Scheme, Timer
+from . import assembly
+from .assembly import csr_shortest_path, subgraph_from_entry
+from .base import PreparedQuery, QueryResult, Scheme, Timer
 from .files import (
     DATA_FILE,
     HeaderInfo,
@@ -36,29 +37,15 @@ from .files import (
     LOOKUP_FILE,
     build_lookup_file,
     build_region_data_file,
-    decode_region_pages,
     lookup_entries_per_page,
     read_lookup_entry,
 )
-from .index_entries import IndexEntry, IndexFileBuilder, decode_index_entry
+from .index_entries import IndexFileBuilder
 from .plan import QueryPlan, RoundSpec
 
+__all__ = ["PassageIndexScheme", "subgraph_from_entry"]
+
 _PAYLOAD_RESERVE = 8
-
-
-def subgraph_from_entry(entry: IndexEntry, region_payloads) -> RoadNetwork:
-    """Assemble the client-side graph from region data plus passage-subgraph edges."""
-    graph = merge_region_payloads(region_payloads)
-    if entry.edges is None:
-        raise SchemeError("expected a passage-subgraph entry")
-    for source, target, weight in entry.edges:
-        if source not in graph:
-            graph.add_node(source, 0.0, 0.0)
-        if target not in graph:
-            graph.add_node(target, 0.0, 0.0)
-        if not graph.has_edge(source, target):
-            graph.add_edge(source, target, weight)
-    return graph
 
 
 class PassageIndexScheme(Scheme):
@@ -176,6 +163,12 @@ class PassageIndexScheme(Scheme):
     # query processing
     # ------------------------------------------------------------------ #
     def query(self, source: NodeId, target: NodeId) -> QueryResult:
+        return self.prepare_query(source, target).solve()
+
+    def prepare_query(self, source: NodeId, target: NodeId) -> PreparedQuery:
+        """All three PIR rounds; entry decode, CSR assembly and the search run
+        in ``solve()`` (and are skipped entirely when the assembled subgraph
+        of this region pair is already cached)."""
         from ..pir import AccessTrace
 
         trace = AccessTrace()
@@ -209,14 +202,13 @@ class PassageIndexScheme(Scheme):
             pages = rounds.fetch_many(DATA_FILE, header.data_pages_for_region(region_id))
             payloads.append(pages)
         rounds.pad(DATA_FILE, header.data_round_pages)
-        with timer:
-            entry = decode_index_entry(fetched_index, (source_region, target_region))
-            if entry is None or entry.edges is None:
-                raise SchemeError(
-                    f"missing passage-subgraph entry for pair ({source_region}, {target_region})"
-                )
-            decoded = [decode_region_pages(pages) for pages in payloads]
-            graph = subgraph_from_entry(entry, decoded)
-            path = shortest_path(graph, source, target)
 
-        return self.finish_query(path, trace, timer.seconds)
+        def solve() -> QueryResult:
+            with timer:
+                graph = assembly.assemble_passage_csr(
+                    payloads, fetched_index, (source_region, target_region)
+                )
+                path = csr_shortest_path(graph, source, target)
+            return self.finish_query(path, trace, timer.seconds)
+
+        return PreparedQuery(solve)

@@ -22,6 +22,10 @@ UINT32 = struct.Struct("<I")
 FLOAT32 = struct.Struct("<f")
 FLOAT64 = struct.Struct("<d")
 UINT16 = struct.Struct("<H")
+#: Packed (uint32, float32) pair — one adjacency-list element.
+PAIR_UINT32_FLOAT32 = struct.Struct("<If")
+#: Packed (uint32, uint32, float32) triple — one weighted edge.
+TRIPLE_UINT32_UINT32_FLOAT32 = struct.Struct("<IIf")
 
 
 def encode_uint32(value: int) -> bytes:
@@ -188,7 +192,29 @@ class RecordReader:
 
     def uint32_list(self) -> List[int]:
         count = self.varint()
-        return [self.uint32() for _ in range(count)]
+        size = UINT32.size * count
+        if self._offset + size > len(self._data):
+            raise StorageError("attempt to read past the end of the record")
+        values = list(struct.unpack_from(f"<{count}I", self._data, self._offset))
+        self._offset += size
+        return values
+
+    def _batch(self, codec: struct.Struct, count: int) -> List[tuple]:
+        """``count`` consecutive fixed-size records in one C-level pass."""
+        size = codec.size * count
+        if self._offset + size > len(self._data):
+            raise StorageError("attempt to read past the end of the record")
+        values = list(codec.iter_unpack(self._data[self._offset:self._offset + size]))
+        self._offset += size
+        return values
+
+    def adjacency_list(self, count: int) -> List[tuple]:
+        """``count`` packed (uint32 neighbor, float32 weight) pairs."""
+        return self._batch(PAIR_UINT32_FLOAT32, count)
+
+    def edge_list(self, count: int) -> List[tuple]:
+        """``count`` packed (uint32, uint32, float32) weighted edges."""
+        return self._batch(TRIPLE_UINT32_UINT32_FLOAT32, count)
 
     def string(self) -> str:
         count = self.varint()

@@ -1,0 +1,73 @@
+"""Tests for the sharded/pipelined side of the query engine."""
+
+import pytest
+
+from repro.bench.workloads import generate_workload
+from repro.engine import QueryEngine
+from repro.exceptions import SchemeError
+
+
+class TestWorkerSharding:
+    def test_invalid_worker_count_rejected(self, ci_scheme, query_pairs):
+        engine = QueryEngine(ci_scheme)
+        with pytest.raises(SchemeError):
+            engine.run_batch(query_pairs, workers=0)
+
+    def test_workers_capped_at_batch_size(self, ci_scheme, query_pairs):
+        engine = QueryEngine(ci_scheme)
+        batch = engine.run_batch(query_pairs[:3], verify_costs=False, workers=10)
+        assert batch.workers == 3
+        assert batch.num_queries == 3
+
+    def test_serial_batch_reports_one_worker(self, ci_scheme, query_pairs):
+        engine = QueryEngine(ci_scheme)
+        batch = engine.run_batch(query_pairs[:2], verify_costs=False)
+        assert batch.workers == 1
+
+    def test_results_preserve_input_order(self, ci_scheme, small_network):
+        pairs = generate_workload(small_network, count=10, seed=51)
+        engine = QueryEngine(ci_scheme)
+        batch = engine.run_batch(pairs, verify_costs=True, workers=3)
+        assert batch.pairs == pairs
+        assert batch.all_costs_correct
+        for pair, result in zip(batch.pairs, batch.results):
+            assert result.path.cost == pytest.approx(batch.true_costs[pair], rel=1e-4)
+
+    def test_parallel_batch_verifies_views_and_costs(self, pi_scheme, query_pairs):
+        engine = QueryEngine(pi_scheme)
+        batch = engine.run_batch(query_pairs, workers=2)
+        assert batch.indistinguishable
+        assert batch.all_costs_correct
+
+    def test_worker_caches_persist_across_batches(self, ci_scheme, query_pairs):
+        engine = QueryEngine(ci_scheme)
+        first = engine.run_batch(query_pairs, verify_costs=False, workers=2)
+        second = engine.run_batch(query_pairs, verify_costs=False, workers=2)
+        assert first.cache_hits + first.cache_misses > 0
+        # the reused worker caches already hold every decoded page and graph
+        assert second.cache_misses == 0
+        assert second.cache_hits > 0
+
+    def test_schemes_without_prepare_split_run_pipelined(self, landmark_scheme, query_pairs):
+        # LM uses the default prepare_query (no retrieve/solve split); the
+        # pipelined sharded engine must still execute it correctly
+        engine = QueryEngine(landmark_scheme)
+        batch = engine.run_batch(query_pairs[:4], verify_costs=False, workers=2)
+        assert batch.num_queries == 4
+        assert batch.indistinguishable
+
+
+class TestPreparedQueries:
+    def test_prepare_then_solve_matches_query(self, ci_scheme, query_pairs):
+        source, target = query_pairs[0]
+        prepared = ci_scheme.prepare_query(source, target)
+        from_prepared = prepared.solve()
+        direct = ci_scheme.query(source, target)
+        assert from_prepared.path.nodes == direct.path.nodes
+        assert from_prepared.adversary_view == direct.adversary_view
+
+    def test_default_prepare_runs_query_eagerly(self, landmark_scheme, query_pairs):
+        source, target = query_pairs[0]
+        prepared = landmark_scheme.prepare_query(source, target)
+        result = prepared.solve()
+        assert result.path.cost > 0

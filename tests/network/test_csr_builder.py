@@ -1,0 +1,178 @@
+"""Tests for :class:`repro.network.indexed.CsrBuilder` and ``csr_shortest_path``.
+
+The builder must replicate the dict-merge reference semantics exactly:
+identical node ordering, identical adjacency ordering, identical edge
+filtering and duplicate handling — so that searches over the built CSR
+return the same paths as searches over the merged :class:`RoadNetwork`.
+"""
+
+import pytest
+
+from repro.exceptions import GraphError, NoPathError
+from repro.network import (
+    CsrBuilder,
+    CsrGraph,
+    csr_shortest_path,
+    random_planar_network,
+    shortest_path,
+)
+from repro.network.indexed import csr_for
+from repro.partition import merge_region_payloads
+
+
+def _payload(entries):
+    """Build a decoded-payload mapping: {node: (x, y, [(nbr, w), ...])}."""
+    return {node: (x, y, list(adj)) for node, (x, y, adj) in entries.items()}
+
+
+class TestCsrBuilderSemantics:
+    def test_single_payload_matches_reference_merge(self):
+        payload = _payload({
+            1: (0.0, 0.0, [(2, 1.0), (3, 2.5)]),
+            2: (1.0, 0.0, [(1, 1.0)]),
+            3: (0.0, 1.0, [(1, 2.5), (9, 4.0)]),  # 9 is outside: dropped
+        })
+        reference = merge_region_payloads([payload])
+        built = CsrBuilder().add_payload(payload).build()
+        compiled = CsrGraph.from_network(reference)
+        assert built.node_ids == compiled.node_ids
+        assert list(built.offsets) == list(compiled.offsets)
+        assert list(built.targets) == list(compiled.targets)
+        assert list(built.weights) == list(compiled.weights)
+        assert list(built.xs) == list(compiled.xs)
+        assert list(built.ys) == list(compiled.ys)
+
+    def test_overlapping_payloads_last_wins_first_position(self):
+        first = _payload({1: (0.0, 0.0, [(2, 1.0)]), 2: (1.0, 0.0, [])})
+        second = _payload({2: (1.0, 0.0, [(1, 3.0)]), 3: (2.0, 0.0, [(2, 1.5)])})
+        reference = merge_region_payloads([first, second])
+        built = CsrBuilder().add_payload(first).add_payload(second).build()
+        compiled = CsrGraph.from_network(reference)
+        assert built.node_ids == compiled.node_ids
+        assert list(built.targets) == list(compiled.targets)
+        assert list(built.weights) == list(compiled.weights)
+
+    def test_extra_edges_are_appended_and_deduplicated(self):
+        payload = _payload({
+            1: (0.0, 0.0, [(2, 1.0)]),
+            2: (1.0, 0.0, []),
+        })
+        # (1, 2) duplicates a payload edge and must be skipped; (2, 1) is new
+        built = (
+            CsrBuilder()
+            .add_payload(payload)
+            .add_edges([(1, 2, 9.0), (2, 1, 4.0), (2, 1, 5.0)])
+            .build()
+        )
+        assert built.heuristic_safe  # no placeholder nodes were interned
+        edges = [
+            (built.node_ids[u], built.node_ids[built.targets[k]], built.weights[k])
+            for u in range(built.num_nodes)
+            for k in range(built.offsets[u], built.offsets[u + 1])
+        ]
+        assert edges == [(1, 2, 1.0), (2, 1, 4.0)]
+
+    def test_placeholder_nodes_mark_graph_heuristic_unsafe(self):
+        payload = _payload({1: (5.0, 5.0, []), 2: (6.0, 5.0, [])})
+        built = (
+            CsrBuilder()
+            .add_payload(payload)
+            .add_edges([(1, 77, 1.0), (77, 2, 1.0)])
+            .build()
+        )
+        assert not built.heuristic_safe
+        assert 77 in built
+        dense = built.dense_id(77)
+        assert (built.xs[dense], built.ys[dense]) == (0.0, 0.0)
+        # interned after every payload node, in encounter order
+        assert built.node_ids == [1, 2, 77]
+
+    def test_payload_edge_to_passage_only_node_stays_dropped(self):
+        # a payload edge pointing at a node that only the passage entry
+        # carries is dropped, exactly like the reference merge (which filters
+        # before the entry nodes exist)
+        payload = _payload({1: (0.0, 0.0, [(7, 2.0)]), 2: (1.0, 0.0, [])})
+        built = (
+            CsrBuilder().add_payload(payload).add_edges([(2, 7, 1.0)]).build()
+        )
+        dense_one = built.dense_id(1)
+        assert built.offsets[dense_one] == built.offsets[dense_one + 1]  # no out-edges
+
+
+class TestCsrShortestPath:
+    def test_matches_network_search_on_compiled_graph(self, medium_network):
+        csr = csr_for(medium_network)
+        node_ids = list(medium_network.node_ids())
+        for source, target in [(node_ids[0], node_ids[-1]), (node_ids[3], node_ids[200])]:
+            expected = shortest_path(medium_network, source, target)
+            actual = csr_shortest_path(csr, source, target)
+            assert actual.nodes == expected.nodes
+            assert actual.cost == pytest.approx(expected.cost)
+
+    def test_small_graph_pure_python_core(self):
+        payload = _payload({
+            1: (0.0, 0.0, [(2, 1.0), (3, 5.0)]),
+            2: (0.5, 0.0, [(3, 1.0)]),
+            3: (1.0, 0.0, []),
+        })
+        csr = CsrBuilder().add_payload(payload).build()
+        path = csr_shortest_path(csr, 1, 3)
+        assert path.nodes == (1, 2, 3)
+        assert path.cost == pytest.approx(2.0)
+
+    def test_source_equals_target(self):
+        payload = _payload({1: (0.0, 0.0, [])})
+        csr = CsrBuilder().add_payload(payload).build()
+        path = csr_shortest_path(csr, 1, 1)
+        assert path.nodes == (1,)
+        assert path.cost == 0.0
+
+    def test_unknown_and_unreachable_ids(self):
+        payload = _payload({1: (0.0, 0.0, []), 2: (1.0, 0.0, [])})
+        csr = CsrBuilder().add_payload(payload).build()
+        with pytest.raises(GraphError):
+            csr_shortest_path(csr, 1, 99)
+        with pytest.raises(NoPathError):
+            csr_shortest_path(csr, 1, 2)
+
+    def test_randomized_equivalence_with_reference_merge(self, rng):
+        # split a random network into chunky "payloads" and compare searches
+        network = random_planar_network(120, seed=21)
+        payloads = []
+        node_ids = list(network.node_ids())
+        chunk = 40
+        for start in range(0, len(node_ids), chunk):
+            group = node_ids[start:start + chunk]
+            payloads.append(
+                {
+                    node: (
+                        network.node(node).x,
+                        network.node(node).y,
+                        list(network.neighbors(node)),
+                    )
+                    for node in group
+                }
+            )
+        # drop one payload so cross-payload filtering actually triggers
+        kept = payloads[:-1]
+        reference = merge_region_payloads(kept)
+        builder = CsrBuilder()
+        for payload in kept:
+            builder.add_payload(payload)
+        built = builder.build()
+        compiled = CsrGraph.from_network(reference)
+        assert built.node_ids == compiled.node_ids
+        assert list(built.offsets) == list(compiled.offsets)
+        assert list(built.targets) == list(compiled.targets)
+        kept_ids = [n for p in kept for n in p]
+        for _ in range(25):
+            source, target = rng.choice(kept_ids), rng.choice(kept_ids)
+            try:
+                expected = shortest_path(reference, source, target)
+            except NoPathError:
+                with pytest.raises(NoPathError):
+                    csr_shortest_path(built, source, target)
+                continue
+            actual = csr_shortest_path(built, source, target)
+            assert actual.nodes == expected.nodes
+            assert actual.cost == pytest.approx(expected.cost, rel=1e-12)

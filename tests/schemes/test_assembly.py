@@ -1,0 +1,130 @@
+"""Tests for CSR-native client-side assembly (:mod:`repro.schemes.assembly`)
+and the passage-node placeholder-coordinate regression (A* heuristic safety).
+"""
+
+import pytest
+
+from repro.engine import LruCache
+from repro.exceptions import SchemeError
+from repro.network import (
+    RoadNetwork,
+    astar_search,
+    csr_shortest_path,
+    euclidean_heuristic,
+    reference_astar_search,
+    shortest_path,
+)
+from repro.partition import encode_region_payload
+from repro.schemes import assembly
+from repro.schemes.files import decode_cache_scope
+from repro.schemes.index_entries import IndexEntry
+
+
+def _expensive_detour_network():
+    """Payload nodes on an expensive road; a passage node offers a shortcut.
+
+    The passage node's position is unknown to the client (it lives in no
+    fetched region), so the merged graph places it at ``(0, 0)`` — far from
+    the real geometry around ``(100, 100)``.
+    """
+    network = RoadNetwork()
+    network.add_node(1, 100.0, 100.0)
+    network.add_node(2, 101.0, 100.0)
+    network.add_node(3, 102.0, 100.0)
+    network.add_edge(1, 2, 10.0)
+    network.add_edge(2, 3, 10.0)
+    payload = {
+        node.node_id: (node.x, node.y, list(network.neighbors(node.node_id)))
+        for node in network.nodes()
+    }
+    entry = IndexEntry((0, 1), None, frozenset({(1, 4, 1.0), (4, 3, 1.0)}))
+    return payload, entry
+
+
+class TestPassageNodePlaceholderRegression:
+    def test_merged_graph_is_flagged_heuristic_unsafe(self):
+        payload, entry = _expensive_detour_network()
+        graph = assembly.subgraph_from_entry(entry, [payload])
+        assert graph.heuristic_safe is False
+
+    def test_astar_returns_true_shortest_cost_despite_placeholders(self):
+        payload, entry = _expensive_detour_network()
+        graph = assembly.subgraph_from_entry(entry, [payload])
+        truth = shortest_path(graph, 1, 3)
+        assert truth.cost == pytest.approx(2.0)  # via the passage node
+        assert astar_search(graph, 1, 3).cost == pytest.approx(truth.cost)
+        assert reference_astar_search(graph, 1, 3).cost == pytest.approx(truth.cost)
+
+    def test_euclidean_heuristic_on_placeholders_is_inadmissible(self):
+        # documents the bug this guards against: forcing the Euclidean bound
+        # on the placeholder-coordinate graph skips the passage shortcut
+        payload, entry = _expensive_detour_network()
+        graph = assembly.subgraph_from_entry(entry, [payload])
+        suboptimal = astar_search(graph, 1, 3, heuristic=euclidean_heuristic(graph, 3))
+        assert suboptimal.cost == pytest.approx(20.0)
+
+    def test_graphs_without_placeholders_keep_euclidean_astar(self):
+        payload, _ = _expensive_detour_network()
+        entry = IndexEntry((0, 1), None, frozenset({(3, 1, 1.0)}))  # known nodes only
+        graph = assembly.subgraph_from_entry(entry, [payload])
+        assert graph.heuristic_safe is True
+        assert astar_search(graph, 1, 3).cost == pytest.approx(20.0)
+
+
+def _region_payload_bytes():
+    network = RoadNetwork()
+    for node_id, (x, y) in enumerate([(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]):
+        network.add_node(node_id, x, y)
+    network.add_undirected_edge(0, 1, 1.0)
+    network.add_undirected_edge(1, 2, 1.0)
+    network.add_undirected_edge(2, 3, 1.0)
+    group_a = encode_region_payload(network, [0, 1])
+    group_b = encode_region_payload(network, [2, 3])
+    return network, [[group_a], [group_b]]
+
+
+class TestAssembleCsr:
+    def test_region_assembly_matches_reference_graph(self):
+        _, payload_groups = _region_payload_bytes()
+        csr = assembly.assemble_region_csr(payload_groups)
+        reference = assembly.reference_region_graph(payload_groups)
+        for source, target in [(0, 3), (3, 0), (1, 2)]:
+            expected = shortest_path(reference, source, target)
+            actual = csr_shortest_path(csr, source, target)
+            assert actual.nodes == expected.nodes
+            assert actual.cost == pytest.approx(expected.cost)
+
+    def test_passage_assembly_appends_entry_edges(self):
+        _, payload_groups = _region_payload_bytes()
+        entry = IndexEntry((0, 1), None, frozenset({(0, 3, 0.5)}))
+        csr = assembly.assemble_passage_csr(payload_groups, [], (0, 1), entry=entry)
+        assert csr_shortest_path(csr, 0, 3).cost == pytest.approx(0.5)
+        reference = assembly.reference_passage_graph(payload_groups, [], (0, 1), entry=entry)
+        assert shortest_path(reference, 0, 3).cost == pytest.approx(0.5)
+
+    def test_missing_entry_raises_scheme_error(self):
+        _, payload_groups = _region_payload_bytes()
+        with pytest.raises(SchemeError, match="missing passage-subgraph entry"):
+            assembly.assemble_passage_csr(payload_groups, [], (4, 5))
+
+    def test_assembled_graphs_are_cached_by_payload_bytes(self):
+        _, payload_groups = _region_payload_bytes()
+        cache = LruCache(16)
+        with decode_cache_scope(cache):
+            first = assembly.assemble_region_csr(payload_groups)
+            second = assembly.assemble_region_csr(payload_groups)
+        assert first is second
+        without_cache = assembly.assemble_region_csr(payload_groups)
+        assert without_cache is not first
+
+    def test_cache_key_distinguishes_entries(self):
+        _, payload_groups = _region_payload_bytes()
+        entry_a = IndexEntry((0, 1), None, frozenset({(0, 3, 0.5)}))
+        entry_b = IndexEntry((0, 2), None, frozenset({(3, 0, 0.25)}))
+        cache = LruCache(16)
+        with decode_cache_scope(cache):
+            csr_a = assembly.assemble_passage_csr(payload_groups, [], (0, 1), entry=entry_a)
+            csr_b = assembly.assemble_passage_csr(payload_groups, [], (0, 2), entry=entry_b)
+        assert csr_a is not csr_b
+        assert csr_shortest_path(csr_a, 0, 3).cost == pytest.approx(0.5)
+        assert csr_shortest_path(csr_b, 3, 0).cost == pytest.approx(0.25)

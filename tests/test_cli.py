@@ -151,6 +151,46 @@ class TestBatchCommand:
         assert "indistinguishable: True" in output
         assert "page cache" in output
 
+    def test_batch_with_workers_and_cache_knobs(self, tmp_path, capsys):
+        network_file = tmp_path / "net.txt"
+        main(["generate", "--nodes", "70", "--seed", "2", "--output", str(network_file)])
+        code = main(
+            [
+                "batch",
+                "--network",
+                str(network_file),
+                "--page-size",
+                "256",
+                "--queries",
+                "6",
+                "--workers",
+                "2",
+                "--cache-entries",
+                "64",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "workers         : 2 (pipelined)" in output
+        assert "costs correct   : True" in output
+
+    def test_batch_rejects_invalid_workers(self, tmp_path, capsys):
+        network_file = tmp_path / "net.txt"
+        main(["generate", "--nodes", "70", "--seed", "2", "--output", str(network_file)])
+        code = main(
+            [
+                "batch",
+                "--network",
+                str(network_file),
+                "--queries",
+                "3",
+                "--workers",
+                "0",
+            ]
+        )
+        assert code == 2
+        assert "--workers must be positive" in capsys.readouterr().err
+
     def test_batch_no_verify_skips_costs(self, tmp_path, capsys):
         network_file = tmp_path / "net.txt"
         main(["generate", "--nodes", "70", "--seed", "2", "--output", str(network_file)])
