@@ -7,7 +7,10 @@ preserved dict-based reference implementations, batched integer-XOR PIR
 against a faithful re-implementation of the seed's byte-at-a-time client,
 and batched CI/PI query execution through the engine against the PR 1
 client path (dict-merge ``RoadNetwork`` assembly plus a per-query CSR
-compile) — and asserts the speedups the fast path exists for.
+compile) — and asserts the speedups the fast path exists for.  A fourth
+benchmark serves the exact PIR request stream of an engine hotspot batch
+through a sharded versus a monolithic two-server XOR PIR database and
+asserts the end-to-end throughput gain of sharding (≥ 1.5x at 4 shards).
 
 Run it directly (``PYTHONPATH=src python benchmarks/bench_micro_fastpath.py``,
 add ``--json`` to also write ``benchmarks/results/micro_fastpath.json``) or
@@ -33,7 +36,7 @@ from repro.network import (
     shortest_path,
     dijkstra_tree,
 )
-from repro.pir import TwoServerXorPir
+from repro.pir import ShardedPir, TwoServerXorPir
 from repro.schemes import ConciseIndexScheme, PassageIndexScheme
 
 
@@ -269,6 +272,71 @@ def run_scheme_query_microbench(num_nodes=1000, num_queries=80, seed=13):
     return results
 
 
+def run_sharded_pir_microbench(num_nodes=1000, num_queries=80, num_shards=4, seed=13):
+    """End-to-end sharded vs. unsharded PIR serving of a hotspot batch.
+
+    Builds the CI database, pushes a hotspot workload through the batch
+    engine, and extracts the *exact* PIR page-request stream the batch
+    produced (every look-up, index, data and dummy retrieval of every
+    query).  That stream is then served through the real two-server XOR PIR
+    protocol twice: one monolithic database holding every page as a block,
+    versus the same pages split across ``num_shards`` independent
+    sub-databases (:class:`repro.pir.ShardedPir`).  Each unsharded retrieval
+    costs the servers XOR work linear in the *whole* database; sharded
+    retrievals only touch the owning shard, so batch throughput scales with
+    the shard count — that is the scalability lever the sharded engine
+    exists for.
+    """
+    network = random_planar_network(num_nodes, seed=seed)
+    # a small page size yields a few hundred pages, the regime where the
+    # servers' per-retrieval XOR work (linear in the database size) dominates
+    spec = SystemSpec(page_size=256)
+    scheme = ConciseIndexScheme.build(network, spec=spec)
+    pairs = generate_hotspot_workload(
+        network, count=num_queries, seed=seed, hot_pairs=10, hot_fraction=0.75
+    )
+    batch = QueryEngine(scheme).run_batch(pairs, verify_costs=False, pipeline=False)
+
+    # flatten the database into one block space: file -> global id offset
+    blocks = []
+    offsets = {}
+    for file_name in sorted(scheme.database.file_names()):
+        offsets[file_name] = len(blocks)
+        page_file = scheme.database.file(file_name)
+        blocks.extend(page_file.read_page(n) for n in range(page_file.num_pages))
+    stream = [
+        offsets[file_name] + page
+        for result in batch.results
+        for _, file_name, page in result.trace.private_page_requests()
+    ]
+    # the whole batch stream is thousands of retrievals; a deterministic
+    # slice keeps the benchmark fast while preserving the hotspot shape
+    stream = stream[:256]
+
+    unsharded = TwoServerXorPir(blocks)
+    sharded = ShardedPir(blocks, num_shards)
+
+    unsharded_s, unsharded_blocks = _time(lambda: unsharded.retrieve_many(stream))
+    sharded_s, sharded_blocks = _time(lambda: sharded.retrieve_many(stream))
+
+    expected = [blocks[index] for index in stream]
+    assert unsharded_blocks == expected, "unsharded PIR returned wrong blocks"
+    assert sharded_blocks == expected, "sharded PIR returned wrong blocks"
+
+    return {
+        "nodes": num_nodes,
+        "queries": num_queries,
+        "blocks": len(blocks),
+        "shards": num_shards,
+        "retrievals": len(stream),
+        "fast_s": sharded_s,
+        "reference_s": unsharded_s,
+        "speedup": unsharded_s / sharded_s,
+        "retrievals_per_s_sharded": len(stream) / sharded_s,
+        "retrievals_per_s_unsharded": len(stream) / unsharded_s,
+    }
+
+
 def _format(name, result):
     return (
         f"{name}: reference {result['reference_s'] * 1000:.1f} ms, "
@@ -281,8 +349,10 @@ def _run_all():
     dijkstra = run_dijkstra_microbench()
     pir = run_pir_microbench()
     schemes = run_scheme_query_microbench()
+    sharded = run_sharded_pir_microbench()
     results = {"dijkstra": dijkstra, "xor_pir": pir}
     results.update({f"batch_{name}": result for name, result in schemes.items()})
+    results["sharded_pir"] = sharded
     return results
 
 
@@ -297,6 +367,9 @@ def test_fastpath_microbench(record_result):
     assert results["xor_pir"]["speedup"] >= 3.0, f"batched PIR too slow: {results}"
     assert results["batch_CI"]["speedup"] >= 2.0, f"CI query pipeline too slow: {results}"
     assert results["batch_PI"]["speedup"] >= 2.0, f"PI query pipeline too slow: {results}"
+    # sharding the PIR database across 4 sub-databases must lift end-to-end
+    # batch serving throughput by at least 1.5x (typically close to 4x)
+    assert results["sharded_pir"]["speedup"] >= 1.5, f"sharded PIR too slow: {results}"
 
 
 if __name__ == "__main__":

@@ -1,0 +1,87 @@
+"""Sharded PIR databases and process workers under the batch engine.
+
+The engine scales along three independent axes, none of which changes query
+results, traces or what the adversary observes:
+
+* ``QueryEngine(shards=S)`` splits the PIR page store across ``S``
+  independent sub-databases; every worker context owns its own shard
+  connections (``repro-spc batch --shards S``);
+* ``run_batch(workers=N)`` shards the batch across ``N`` worker contexts
+  (``--workers N``);
+* ``run_batch(worker_mode="process")`` ships the CPU-bound decode/assembly/
+  search phase to a process pool (``--worker-mode process``).
+
+This demo runs the same workload serial, sharded+threaded and
+sharded+process, shows the results are identical, and then serves the
+batch's PIR request stream through a real sharded two-server XOR PIR to
+show where the throughput comes from: each retrieval only costs XOR work in
+the owning shard, not the whole database.
+
+Run with: ``PYTHONPATH=src python examples/sharded_batch.py``
+"""
+
+import time
+
+from repro.bench.workloads import generate_hotspot_workload
+from repro.costmodel import SystemSpec
+from repro.engine import QueryEngine
+from repro.network import random_planar_network
+from repro.pir import ShardedPir, TwoServerXorPir
+from repro.schemes import ConciseIndexScheme
+
+
+def main() -> None:
+    network = random_planar_network(400, seed=7)
+    scheme = ConciseIndexScheme.build(network, spec=SystemSpec(page_size=256))
+    pairs = generate_hotspot_workload(network, count=24, seed=7)
+
+    print("== one batch, three execution plans ==")
+    serial = QueryEngine(scheme).run_batch(pairs, verify_costs=False, pipeline=False)
+    sharded = QueryEngine(scheme, shards=4).run_batch(pairs, verify_costs=False, workers=2)
+    process = QueryEngine(scheme, shards=4).run_batch(
+        pairs, verify_costs=False, workers=2, worker_mode="process"
+    )
+    for label, batch in (("serial", serial), ("4 shards x 2 threads", sharded),
+                         ("4 shards x 2 processes", process)):
+        print(f"  {label:<24}: {batch.num_queries} queries, "
+              f"indistinguishable={batch.indistinguishable}")
+    identical = all(
+        a.path.nodes == b.path.nodes == c.path.nodes
+        and a.adversary_view == b.adversary_view == c.adversary_view
+        for a, b, c in zip(serial.results, sharded.results, process.results)
+    )
+    print(f"  results bit-identical across all plans: {identical}")
+
+    print("\n== why sharding pays: the PIR serving bill ==")
+    blocks = []
+    offsets = {}
+    for file_name in sorted(scheme.database.file_names()):
+        offsets[file_name] = len(blocks)
+        page_file = scheme.database.file(file_name)
+        blocks.extend(page_file.read_page(n) for n in range(page_file.num_pages))
+    stream = [
+        offsets[file_name] + page
+        for result in serial.results
+        for _, file_name, page in result.trace.private_page_requests()
+    ][:128]
+
+    monolithic = TwoServerXorPir(blocks)
+    split = ShardedPir(blocks, num_shards=4)
+    started = time.perf_counter()
+    answers_mono = monolithic.retrieve_many(stream)
+    mono_s = time.perf_counter() - started
+    started = time.perf_counter()
+    answers_split = split.retrieve_many(stream)
+    split_s = time.perf_counter() - started
+    assert answers_mono == answers_split == [blocks[index] for index in stream]
+    print(f"  database: {len(blocks)} pages; replayed {len(stream)} retrievals "
+          "of the batch's private request stream")
+    print(f"  monolithic database : {len(stream) / mono_s:8.0f} retrievals/s")
+    print(f"  4 independent shards: {len(stream) / split_s:8.0f} retrievals/s "
+          f"({mono_s / split_s:.1f}x)")
+    print("\n  (the adversary additionally learns which shard each retrieval "
+          "touched;\n   within a shard the PIR guarantee is unchanged)")
+
+
+if __name__ == "__main__":
+    main()

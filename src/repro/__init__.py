@@ -60,6 +60,8 @@ from .pir import (
     AdversaryView,
     OramBackedPir,
     SecureCoprocessor,
+    ShardedPir,
+    ShardedPirSimulator,
     SquareRootOram,
     TwoServerXorPir,
     UsablePirSimulator,
@@ -128,6 +130,8 @@ __all__ = [
     "Scheme",
     "SchemeError",
     "SecureCoprocessor",
+    "ShardedPir",
+    "ShardedPirSimulator",
     "SquareRootOram",
     "StorageError",
     "SystemSpec",

@@ -190,6 +190,8 @@ def fig5_lm_tuning(
     num_queries: int = DEFAULT_NUM_QUERIES,
     profile: str = "quick",
     workers: int = 1,
+    worker_mode: str = "thread",
+    shards: int = 1,
 ) -> List[Dict[str, object]]:
     """Figure 5: LM response time and space vs. the number of landmarks."""
     cache = get_cache(profile)
@@ -197,7 +199,9 @@ def fig5_lm_tuning(
     rows = []
     for count in landmark_counts:
         scheme = _build_lm(cache, dataset, count, workload)
-        summary = run_workload(scheme, workload, workers=workers)
+        summary = run_workload(
+            scheme, workload, workers=workers, worker_mode=worker_mode, shards=shards
+        )
         rows.append(
             {
                 "landmarks": count,
@@ -218,6 +222,8 @@ def table3_components(
     profile: str = "quick",
     num_landmarks: int = 5,
     workers: int = 1,
+    worker_mode: str = "thread",
+    shards: int = 1,
 ) -> List[Dict[str, object]]:
     """Table 3: response-time decomposition and page accesses for AF, LM, CI, PI."""
     cache = get_cache(profile)
@@ -230,7 +236,9 @@ def table3_components(
     ]
     rows = []
     for scheme in schemes:
-        summary = run_workload(scheme, workload, workers=workers)
+        summary = run_workload(
+            scheme, workload, workers=workers, worker_mode=worker_mode, shards=shards
+        )
         paper = PAPER_TABLE3.get(scheme.name, {})
         data_accesses = summary.mean_page_accesses.get("data", 0.0) + (
             summary.mean_page_accesses.get("combined", 0.0)
@@ -266,12 +274,26 @@ def fig6_obfuscation(
     num_queries: int = 20,
     profile: str = "quick",
     workers: int = 1,
+    worker_mode: str = "thread",
+    shards: int = 1,
 ) -> Dict[str, object]:
     """Figure 6: OBF response time vs. obfuscation set size, with CI/PI reference lines."""
     cache = get_cache(profile)
     workload = _workload(cache, dataset, num_queries)
-    ci_summary = run_workload(_build_ci(cache, dataset), workload, workers=workers)
-    pi_summary = run_workload(_build_pi(cache, dataset), workload, workers=workers)
+    ci_summary = run_workload(
+        _build_ci(cache, dataset),
+        workload,
+        workers=workers,
+        worker_mode=worker_mode,
+        shards=shards,
+    )
+    pi_summary = run_workload(
+        _build_pi(cache, dataset),
+        workload,
+        workers=workers,
+        worker_mode=worker_mode,
+        shards=shards,
+    )
     rows = []
     for size in set_sizes:
         obf = ObfuscationScheme(cache.network(dataset), spec=cache.spec, set_size=size, seed=size)
@@ -292,6 +314,8 @@ def fig7_datasets(
     profile: str = "quick",
     num_landmarks: int = 5,
     workers: int = 1,
+    worker_mode: str = "thread",
+    shards: int = 1,
 ) -> List[Dict[str, object]]:
     """Figure 7: AF/LM/CI/PI response time and space on the smaller networks."""
     cache = get_cache(profile)
@@ -305,7 +329,9 @@ def fig7_datasets(
             _build_pi(cache, dataset),
         ]
         for scheme in schemes:
-            summary = run_workload(scheme, workload, workers=workers)
+            summary = run_workload(
+                scheme, workload, workers=workers, worker_mode=worker_mode, shards=shards
+            )
             rows.append(
                 {
                     "dataset": dataset_spec(dataset).label,
@@ -325,6 +351,8 @@ def fig8_packing(
     num_queries: int = DEFAULT_NUM_QUERIES,
     profile: str = "quick",
     workers: int = 1,
+    worker_mode: str = "thread",
+    shards: int = 1,
 ) -> List[Dict[str, object]]:
     """Figure 8: CI/PI with packed vs. plain KD-tree partitioning."""
     cache = get_cache(profile)
@@ -338,7 +366,9 @@ def fig8_packing(
             ("PI-P", _build_pi(cache, dataset, packed=False)),
         ]
         for label, scheme in variants:
-            summary = run_workload(scheme, workload, workers=workers)
+            summary = run_workload(
+                scheme, workload, workers=workers, worker_mode=worker_mode, shards=shards
+            )
             rows.append(
                 {
                     "dataset": dataset_spec(dataset).label,
@@ -359,6 +389,8 @@ def fig9_compression(
     num_queries: int = DEFAULT_NUM_QUERIES,
     profile: str = "quick",
     workers: int = 1,
+    worker_mode: str = "thread",
+    shards: int = 1,
 ) -> List[Dict[str, object]]:
     """Figure 9: CI/PI with and without in-page index compression."""
     cache = get_cache(profile)
@@ -372,7 +404,9 @@ def fig9_compression(
             ("PI-C", _build_pi(cache, dataset, compress=False)),
         ]
         for label, scheme in variants:
-            summary = run_workload(scheme, workload, workers=workers)
+            summary = run_workload(
+                scheme, workload, workers=workers, worker_mode=worker_mode, shards=shards
+            )
             rows.append(
                 {
                     "dataset": dataset_spec(dataset).label,
@@ -394,6 +428,8 @@ def fig10_hybrid(
     num_queries: int = DEFAULT_NUM_QUERIES,
     profile: str = "quick",
     workers: int = 1,
+    worker_mode: str = "thread",
+    shards: int = 1,
 ) -> Dict[str, object]:
     """Figure 10: distribution of |S_ij| and HY's space/time trade-off vs. threshold."""
     cache = get_cache(profile)
@@ -412,11 +448,19 @@ def fig10_hybrid(
         step = max(1, max_size // 5)
         thresholds = sorted({max(1, step * k) for k in range(1, 6)})
 
-    ci_summary = run_workload(_build_ci(cache, dataset), workload, workers=workers)
+    ci_summary = run_workload(
+        _build_ci(cache, dataset),
+        workload,
+        workers=workers,
+        worker_mode=worker_mode,
+        shards=shards,
+    )
     rows = []
     for threshold in thresholds:
         scheme = _build_hybrid(cache, dataset, threshold)
-        summary = run_workload(scheme, workload, workers=workers)
+        summary = run_workload(
+            scheme, workload, workers=workers, worker_mode=worker_mode, shards=shards
+        )
         rows.append(
             {
                 "threshold": threshold,
@@ -443,15 +487,25 @@ def fig11_clustered(
     num_queries: int = DEFAULT_NUM_QUERIES,
     profile: str = "quick",
     workers: int = 1,
+    worker_mode: str = "thread",
+    shards: int = 1,
 ) -> Dict[str, object]:
     """Figure 11: PI* response time and space vs. the number of cluster pages."""
     cache = get_cache(profile)
     workload = _workload(cache, dataset, num_queries)
-    ci_summary = run_workload(_build_ci(cache, dataset), workload, workers=workers)
+    ci_summary = run_workload(
+        _build_ci(cache, dataset),
+        workload,
+        workers=workers,
+        worker_mode=worker_mode,
+        shards=shards,
+    )
     rows = []
     for cluster_pages in cluster_sizes:
         scheme = _build_clustered(cache, dataset, cluster_pages)
-        summary = run_workload(scheme, workload, workers=workers)
+        summary = run_workload(
+            scheme, workload, workers=workers, worker_mode=worker_mode, shards=shards
+        )
         rows.append(
             {
                 "cluster_pages": cluster_pages,
@@ -476,6 +530,8 @@ def fig12_larger(
     profile: str = "quick",
     cluster_pages: int = 2,
     workers: int = 1,
+    worker_mode: str = "thread",
+    shards: int = 1,
 ) -> List[Dict[str, object]]:
     """Figure 12: CI, HY and PI* on the larger networks."""
     cache = get_cache(profile)
@@ -491,7 +547,9 @@ def fig12_larger(
             _build_clustered(cache, dataset, cluster_pages),
         ]
         for scheme in schemes:
-            summary = run_workload(scheme, workload, workers=workers)
+            summary = run_workload(
+                scheme, workload, workers=workers, worker_mode=worker_mode, shards=shards
+            )
             rows.append(
                 {
                     "dataset": dataset_spec(dataset).label,

@@ -43,6 +43,10 @@ class WorkloadSummary:
     cache_misses: int = 0
     #: Worker contexts the batch was sharded across.
     workers: int = 1
+    #: How the worker contexts executed ("thread" or "process").
+    worker_mode: str = "thread"
+    #: PIR database shards each worker context connected to.
+    shards: int = 1
 
     def as_row(self) -> Dict[str, object]:
         """A flat dictionary convenient for report tables."""
@@ -71,6 +75,8 @@ def run_workload(
     workers: int = 1,
     cache_entries: int = 512,
     pipeline: bool = True,
+    worker_mode: str = "thread",
+    shards: int = 1,
 ) -> WorkloadSummary:
     """Execute every query of the workload and aggregate the paper's metrics.
 
@@ -79,21 +85,25 @@ def run_workload(
     across several workloads of the same scheme): queries execute under the
     scheme's fixed plan with client-side decode caching, and the true-cost
     verification is batched by source over the compiled network.  ``workers``
-    shards the batch across that many engine worker contexts and ``pipeline``
-    overlaps PIR retrieval with the client-side solve; both leave the results
-    bit-identical to serial execution.  ``cache_entries`` sizes each worker's
-    decode cache (ignored when ``engine`` is supplied).
+    shards the batch across that many engine worker contexts,
+    ``worker_mode`` selects thread or process workers, ``pipeline`` overlaps
+    PIR retrieval with the client-side solve, and ``shards`` splits the PIR
+    page store into that many independent sub-databases; all of them leave
+    the results bit-identical to serial execution.  ``cache_entries`` sizes
+    each worker's decode cache (``0`` disables caching; ignored when
+    ``engine`` is supplied, as is ``shards``).
     """
     if not pairs:
         raise SchemeError("cannot run an empty workload")
     if engine is None:
-        engine = QueryEngine(scheme, cache_entries=cache_entries)
+        engine = QueryEngine(scheme, cache_entries=cache_entries, shards=shards)
     batch = engine.run_batch(
         pairs,
         verify_costs=verify_costs,
         cost_tolerance=cost_tolerance,
         workers=workers,
         pipeline=pipeline,
+        worker_mode=worker_mode,
     )
 
     responses: List[ResponseTime] = []
@@ -129,6 +139,8 @@ def run_workload(
         cache_hits=batch.cache_hits,
         cache_misses=batch.cache_misses,
         workers=batch.workers,
+        worker_mode=batch.worker_mode,
+        shards=batch.shards,
     )
 
 

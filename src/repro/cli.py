@@ -129,7 +129,11 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--queries", type=int, default=20, help="workload size")
     batch.add_argument("--seed", type=int, default=42, help="workload seed")
     batch.add_argument(
-        "--cache-entries", type=int, default=512, help="page-cache capacity (decoded pages)"
+        "--cache-entries",
+        type=int,
+        default=512,
+        help="page-cache capacity in decoded pages (0 disables caching, e.g. "
+        "for measurement runs)",
     )
     batch.add_argument(
         "--workers",
@@ -137,6 +141,22 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker contexts to shard the batch across (results are identical "
         "to serial execution)",
+    )
+    batch.add_argument(
+        "--worker-mode",
+        choices=("thread", "process"),
+        default="thread",
+        help="run worker contexts as threads (pipelined retrieval/solve "
+        "overlap) or processes (CPU-bound decode escapes the GIL); results "
+        "are identical either way",
+    )
+    batch.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="split the PIR page store across this many independent "
+        "sub-databases; every worker context owns its own shard "
+        "connections (results are identical for any shard count)",
     )
     batch.add_argument(
         "--no-pipeline",
@@ -255,28 +275,36 @@ def _command_batch(args: argparse.Namespace) -> int:
     if args.queries <= 0:
         print(f"error: --queries must be positive, got {args.queries}", file=sys.stderr)
         return 2
-    if args.cache_entries <= 0:
+    if args.cache_entries < 0:
         print(
-            f"error: --cache-entries must be positive, got {args.cache_entries}",
+            f"error: --cache-entries must be non-negative, got {args.cache_entries} "
+            "(0 disables caching)",
             file=sys.stderr,
         )
         return 2
     if args.workers <= 0:
         print(f"error: --workers must be positive, got {args.workers}", file=sys.stderr)
         return 2
+    if args.shards <= 0:
+        print(f"error: --shards must be positive, got {args.shards}", file=sys.stderr)
+        return 2
     scheme = _build_scheme(args)
     pairs = generate_workload(scheme.network, count=args.queries, seed=args.seed)
-    engine = QueryEngine(scheme, cache_entries=args.cache_entries)
+    engine = QueryEngine(scheme, cache_entries=args.cache_entries, shards=args.shards)
     batch = engine.run_batch(
         pairs,
         verify_costs=not args.no_verify,
         workers=args.workers,
         pipeline=not args.no_pipeline,
+        worker_mode=args.worker_mode,
     )
     print(f"scheme          : {scheme.name}")
     print(f"queries         : {batch.num_queries}")
     print(f"workers         : {batch.workers}"
-          f"{' (pipelined)' if not args.no_pipeline else ''}")
+          f"{' (pipelined)' if batch.worker_mode == 'thread' and not args.no_pipeline else ''}")
+    print(f"worker mode     : {batch.worker_mode}")
+    if batch.shards > 1:
+        print(f"pir shards      : {batch.shards}")
     print(f"wall time       : {batch.wall_seconds:.3f} s "
           f"({batch.queries_per_second:.1f} queries/s)")
     print(f"mean response   : {batch.mean_response_s:.2f} s (simulated)")

@@ -6,11 +6,12 @@ client-side page decoding and batched result verification on the array-backed
 search core.
 """
 
-from .cache import LruCache
+from .cache import LruCache, NullCache
 from .query_engine import BatchResult, QueryEngine
 
 __all__ = [
     "BatchResult",
     "LruCache",
+    "NullCache",
     "QueryEngine",
 ]

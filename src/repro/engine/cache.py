@@ -73,3 +73,48 @@ class LruCache:
             f"LruCache(capacity={self.capacity}, size={len(self._entries)}, "
             f"hits={self.hits}, misses={self.misses})"
         )
+
+
+class NullCache:
+    """A cache-shaped no-op used when caching is disabled.
+
+    Measurement runs need an engine without client-side decode caching
+    (``cache_entries=0``): every ``get`` misses, every ``put`` is dropped, and
+    the miss count keeps the batch statistics meaningful.  The counter is
+    lock-guarded for the same reason :class:`LruCache` is — within one
+    worker the pipelined retrieval thread and the solve thread probe the
+    cache concurrently.
+    """
+
+    __slots__ = ("hits", "misses", "_lock")
+
+    capacity = 0
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        with self._lock:
+            self.misses += 1
+        return None
+
+    def put(self, key: Hashable, value: Any) -> None:
+        return None
+
+    def clear(self) -> None:
+        return None
+
+    @property
+    def hit_rate(self) -> float:
+        return 0.0
+
+    def __len__(self) -> int:
+        return 0
+
+    def __contains__(self, key: Hashable) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NullCache(misses={self.misses})"

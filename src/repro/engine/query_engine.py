@@ -11,24 +11,34 @@ still runs the full multi-round PIR protocol and is checked against the plan
   decode cache, so shards execute concurrently without sharing mutable
   protocol state, and their statistics are merged into one
   :class:`BatchResult`;
-* within a worker the plan is **pipelined**: queries are split into a
-  retrieval phase (the PIR rounds) and a solve phase (CSR assembly plus the
-  search, see :class:`~repro.schemes.base.PreparedQuery`), and the retrieval
-  rounds of the next query overlap the solve of the current one;
+* worker contexts can run as **threads or processes**
+  (``worker_mode="thread" | "process"``): thread workers overlap the PIR
+  rounds of the next query with the solve of the current one (pipelining),
+  while process workers ship the CPU-bound solve phase — record decode, CSR
+  assembly and the search — to a ``ProcessPoolExecutor`` via the schemes'
+  picklable :class:`~repro.schemes.base.RemoteSolve` split, escaping the GIL
+  entirely;
+* the engine's PIR page store can be **sharded** (``QueryEngine(...,
+  shards=S)``): every worker context owns its own per-shard connections to
+  ``S`` independent sub-databases (see
+  :class:`~repro.pir.sharded.ShardedPirSimulator`), the storage layout a
+  scaled deployment serves from;
 * each worker's LRU cache (see :class:`~repro.engine.cache.LruCache`) shares
   the decoded header, decoded region payloads and *assembled subgraph CSRs*
-  across the queries of its shard, so repeated region pairs cost one cache
-  probe instead of a rebuild;
+  across the queries of its shard (``cache_entries=0`` disables caching for
+  measurement runs via :class:`~repro.engine.cache.NullCache`);
 * result verification runs through the array-backed search core
   (:mod:`repro.network.indexed`), grouping the batch by source so each
   distinct source costs one Dijkstra over the compiled network;
 * indistinguishability is asserted over the whole batch (every query must
   produce the identical adversary view, Theorem 1).
 
-Results are **independent of the worker count**: dummy-page retrievals draw
-from a per-query RNG derived from the scheme's dummy seed and the query's
-position in the batch, so ``run_batch(pairs, workers=8)`` produces traces
-identical to ``run_batch(pairs, workers=1)`` (property-tested).
+Results are **independent of the worker count, worker mode and shard
+count**: dummy-page retrievals draw from a per-query RNG derived from the
+scheme's dummy seed and the query's position in the batch, and the solve
+phase is a deterministic function of the fetched bytes, so every
+``(workers, worker_mode, shards)`` combination produces traces identical to
+``run_batch(pairs, workers=1)`` (property-tested).
 
 ``repro-spc batch`` on the command line and
 :func:`repro.bench.runner.run_workload` (i.e. every figure/table benchmark)
@@ -40,21 +50,29 @@ from __future__ import annotations
 import math
 import random
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import SchemeError
 from ..network import NodeId, all_pairs_sample_costs
-from ..pir import SecureCoprocessor, UsablePirSimulator
+from ..pir import (
+    SecureCoprocessor,
+    ShardedPageStore,
+    ShardedPirSimulator,
+    UsablePirSimulator,
+)
 from ..schemes import files as scheme_files
 from ..schemes.base import PreparedQuery, QueryResult, Scheme, client_state_scope
-from .cache import LruCache
+from .cache import LruCache, NullCache
 
 QueryPair = Tuple[NodeId, NodeId]
 
 #: One (index, pair) work item of a batch.
 _IndexedPair = Tuple[int, QueryPair]
+
+#: Supported worker execution modes.
+WORKER_MODES = ("thread", "process")
 
 
 @dataclass
@@ -79,6 +97,10 @@ class BatchResult:
     wall_seconds: float
     #: Number of worker contexts the batch was sharded across.
     workers: int = 1
+    #: How the worker contexts executed ("thread" or "process").
+    worker_mode: str = "thread"
+    #: Number of PIR database shards each worker context connects to.
+    shards: int = 1
 
     @property
     def num_queries(self) -> int:
@@ -109,24 +131,54 @@ class _WorkerContext:
 
     __slots__ = ("pir", "cache")
 
-    def __init__(self, pir: UsablePirSimulator, cache: LruCache) -> None:
+    def __init__(self, pir: UsablePirSimulator, cache) -> None:
         self.pir = pir
         self.cache = cache
 
 
 class QueryEngine:
-    """Executes batches of private shortest-path queries against one scheme."""
+    """Executes batches of private shortest-path queries against one scheme.
 
-    def __init__(self, scheme: Scheme, cache_entries: int = 512) -> None:
+    ``cache_entries`` sizes each worker context's decode cache (``0`` disables
+    caching entirely — measurement runs use this to exclude cache effects).
+    ``shards`` splits the PIR page store across that many independent
+    sub-databases; every worker context owns its own connections to them.
+    Neither knob changes query results, traces or adversary views.
+    """
+
+    def __init__(
+        self,
+        scheme: Scheme,
+        cache_entries: int = 512,
+        shards: int = 1,
+        shard_strategy: str = "round-robin",
+    ) -> None:
+        if cache_entries < 0:
+            raise SchemeError(
+                f"cache_entries must be non-negative, got {cache_entries}"
+            )
+        if shards < 1:
+            raise SchemeError(f"shards must be positive, got {shards}")
         self.scheme = scheme
         #: The shared plan every query of every batch runs under.
         self.plan = scheme.plan
         self.cache_entries = cache_entries
-        self.page_cache = LruCache(cache_entries)
+        self.shards = shards
+        self.shard_strategy = shard_strategy
+        #: The page partitioning shared by every worker context's shard
+        #: connections (pages are stored once, not once per context).
+        self._shard_store = (
+            ShardedPageStore(scheme.database, shards, shard_strategy)
+            if shards > 1
+            else None
+        )
+        self.page_cache = self._new_cache()
         #: Worker contexts, created lazily and reused across batches so their
-        #: caches keep paying off; context 0 wraps :attr:`page_cache`.
+        #: caches keep paying off; context 0 wraps :attr:`page_cache` (and the
+        #: scheme's own PIR simulator when the store is unsharded).
+        first_pir = scheme.pir if shards == 1 else self._new_pir()
         self._contexts: List[_WorkerContext] = [
-            _WorkerContext(scheme.pir, self.page_cache)
+            _WorkerContext(first_pir, self.page_cache)
         ]
 
     def execute(self, source: NodeId, target: NodeId) -> QueryResult:
@@ -141,21 +193,45 @@ class QueryEngine:
         cost_tolerance: float = 1e-4,
         workers: int = 1,
         pipeline: bool = True,
+        worker_mode: str = "thread",
     ) -> BatchResult:
         """Execute every query of ``pairs`` and verify the batch as a whole.
 
         ``workers`` shards the batch round-robin across that many worker
-        contexts (capped at the batch size); ``pipeline`` overlaps the PIR
-        retrieval of each shard's next query with the solve of its current
-        one.  Cost verification is batched: the pairs are grouped by source
-        and each distinct source triggers one (early-terminating) Dijkstra
-        over the compiled full network, rather than one search per query.
+        contexts (capped at the batch size).  ``worker_mode="thread"`` runs
+        the contexts on threads, and ``pipeline`` overlaps the PIR retrieval
+        of each shard's next query with the solve of its current one;
+        ``worker_mode="process"`` keeps retrieval in the calling process and
+        executes the CPU-bound solve phases on a process pool (the retrieval
+        of later queries naturally overlaps the outstanding remote solves).
+        An empty batch is legal and returns an empty result (workers=0).
+
+        Cost verification is batched: the pairs are grouped by source and
+        each distinct source triggers one (early-terminating) Dijkstra over
+        the compiled full network, rather than one search per query.
         """
         pairs = list(pairs)
-        if not pairs:
-            raise SchemeError("cannot run an empty batch")
         if workers < 1:
             raise SchemeError(f"workers must be positive, got {workers}")
+        if worker_mode not in WORKER_MODES:
+            raise SchemeError(
+                f"unknown worker_mode {worker_mode!r}; expected one of {WORKER_MODES}"
+            )
+        if not pairs:
+            return BatchResult(
+                scheme_name=self.scheme.name,
+                pairs=[],
+                results=[],
+                true_costs={} if verify_costs else None,
+                all_costs_correct=True,
+                indistinguishable=True,
+                cache_hits=0,
+                cache_misses=0,
+                wall_seconds=0.0,
+                workers=0,
+                worker_mode=worker_mode,
+                shards=self.shards,
+            )
         workers = min(workers, len(pairs))
         contexts = self._contexts_for(workers)
         hits_before = sum(context.cache.hits for context in contexts)
@@ -163,7 +239,9 @@ class QueryEngine:
 
         started = time.perf_counter()
         indexed: List[_IndexedPair] = list(enumerate(pairs))
-        if workers == 1:
+        if worker_mode == "process":
+            results = self._run_batch_process(contexts, indexed, workers)
+        elif workers == 1:
             results = [result for _, result in self._run_shard(contexts[0], indexed, pipeline)]
         else:
             results_by_index: List[Optional[QueryResult]] = [None] * len(pairs)
@@ -204,20 +282,33 @@ class QueryEngine:
             cache_misses=sum(context.cache.misses for context in contexts) - misses_before,
             wall_seconds=wall_seconds,
             workers=workers,
+            worker_mode=worker_mode,
+            shards=self.shards,
         )
 
     # ------------------------------------------------------------------ #
     # worker machinery
     # ------------------------------------------------------------------ #
+    def _new_cache(self):
+        return LruCache(self.cache_entries) if self.cache_entries else NullCache()
+
     def _contexts_for(self, workers: int) -> List[_WorkerContext]:
         while len(self._contexts) < workers:
-            self._contexts.append(
-                _WorkerContext(self._new_pir(), LruCache(self.cache_entries))
-            )
+            self._contexts.append(_WorkerContext(self._new_pir(), self._new_cache()))
         return self._contexts[:workers]
 
     def _new_pir(self) -> UsablePirSimulator:
         scheme = self.scheme
+        if self.shards > 1:
+            return ShardedPirSimulator(
+                scheme.database,
+                scp=SecureCoprocessor(scheme.spec),
+                spec=scheme.spec,
+                enforce_limits=scheme.pir.enforce_limits,
+                num_shards=self.shards,
+                strategy=self.shard_strategy,
+                store=self._shard_store,
+            )
         return UsablePirSimulator(
             scheme.database,
             scp=SecureCoprocessor(scheme.spec),
@@ -249,6 +340,64 @@ class QueryEngine:
             for item in shard:
                 out.append((item[0], self._solve(context, self._prepare(context, item))))
         return out
+
+    def _run_batch_process(
+        self,
+        contexts: List[_WorkerContext],
+        indexed: List[_IndexedPair],
+        workers: int,
+    ) -> List[QueryResult]:
+        """Execute the batch with the solve phases on a process pool.
+
+        Retrieval (the PIR rounds) stays in the calling process — the worker
+        contexts' PIR state and decode caches are shared-memory objects — and
+        runs in batch order; every prepared query that carries a picklable
+        :class:`~repro.schemes.base.RemoteSolve` is shipped to the pool as
+        soon as its rounds complete, so later retrievals overlap outstanding
+        remote solves.  Queries whose assembled subgraph is already in the
+        context's decode cache solve in-process instead (one cache probe
+        beats a pickle round trip); remote solves do *not* populate the
+        parent cache — the subprocess keeps the assembled graph — so cache
+        statistics differ from thread mode even though results are
+        identical.  Queries without a remote split (schemes whose default
+        ``prepare_query`` runs eagerly) also solve in-process, which is free
+        for them — their solve closure only returns the precomputed result.
+        """
+        results_by_index: List[Optional[QueryResult]] = [None] * len(indexed)
+        pending: List[Tuple[int, PreparedQuery, object]] = []
+        #: (cache_key, pair) → in-flight future; repeated hot pairs fetch
+        #: identical bytes and search identical endpoints, so their solves
+        #: are the same deterministic computation — submit it once
+        in_flight: Dict[Tuple, object] = {}
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for position, item in enumerate(indexed):
+                # mirror the thread path's round-robin shard assignment
+                context = contexts[position % workers]
+                prepared = self._prepare(context, item)
+                remote = prepared.remote
+                already_assembled = (
+                    remote is not None
+                    and remote.cache_key is not None
+                    and remote.cache_key in context.cache
+                )
+                if remote is not None and not already_assembled:
+                    solve_key = (
+                        (remote.cache_key, item[1])
+                        if remote.cache_key is not None
+                        else None
+                    )
+                    future = in_flight.get(solve_key) if solve_key is not None else None
+                    if future is None:
+                        future = pool.submit(remote.function, *remote.args)
+                        if solve_key is not None:
+                            in_flight[solve_key] = future
+                    pending.append((item[0], prepared, future))
+                else:
+                    results_by_index[item[0]] = self._solve(context, prepared)
+            for index, prepared, future in pending:
+                path, solve_seconds = future.result()
+                results_by_index[index] = prepared.finish(path, solve_seconds)
+        return results_by_index
 
     def _prepare(self, context: _WorkerContext, item: _IndexedPair) -> PreparedQuery:
         index, (source, target) = item

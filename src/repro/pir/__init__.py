@@ -18,6 +18,13 @@ from .paillier import (
 )
 from .protocol import PirProtocol, validate_block_database
 from .scp import SecureCoprocessor, UsablePirSimulator
+from .sharded import (
+    PirShard,
+    ShardMap,
+    ShardedPageStore,
+    ShardedPir,
+    ShardedPirSimulator,
+)
 from .xor_pir import TwoServerXorPir, XorPirServer, xor_bytes
 
 __all__ = [
@@ -31,7 +38,12 @@ __all__ = [
     "PaillierPrivateKey",
     "PaillierPublicKey",
     "PirProtocol",
+    "PirShard",
     "SecureCoprocessor",
+    "ShardMap",
+    "ShardedPageStore",
+    "ShardedPir",
+    "ShardedPirSimulator",
     "SquareRootOram",
     "TwoServerXorPir",
     "UsablePirSimulator",

@@ -15,15 +15,26 @@ byte-at-a-time loops.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..exceptions import PirError
 
 
-def mask_indices(mask: int) -> List[int]:
-    """The sorted block indices named by a subset bitmask."""
+def mask_indices(mask: int, num_blocks: Optional[int] = None) -> List[int]:
+    """The sorted block indices named by a subset bitmask.
+
+    When ``num_blocks`` is given, the mask is validated against the database
+    size: a malformed or corrupted mask naming a block ``>= num_blocks`` would
+    otherwise index past the database (or silently misdecode the answer), so
+    servers pass their block count here and surface :class:`PirError` instead.
+    """
     if mask < 0:
         raise PirError("subset masks must be non-negative")
+    if num_blocks is not None and mask >> num_blocks:
+        raise PirError(
+            f"subset mask names block index {mask.bit_length() - 1}, but the "
+            f"database has only {num_blocks} blocks"
+        )
     indices: List[int] = []
     remaining = mask
     while remaining:

@@ -16,7 +16,7 @@ performance (Section 7.1).  This module reproduces that simulation:
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..costmodel import DEFAULT_SPEC, SystemSpec, pir_page_retrieval_time
 from ..exceptions import FileSizeLimitError, PirError
@@ -92,18 +92,59 @@ class UsablePirSimulator:
         self, file_name: str, page_number: int, trace: Optional[AccessTrace] = None
     ) -> bytes:
         """Obliviously retrieve one page of ``file_name``."""
+        page_file = self._validate_file(file_name)
+        self._validate_page(page_file, file_name, page_number)
+        data = self._read_page(page_file, page_number)
+        self._charge(page_file, file_name, page_number, trace)
+        return data
+
+    def retrieve_pages(
+        self,
+        file_name: str,
+        page_numbers: Sequence[int],
+        trace: Optional[AccessTrace] = None,
+    ) -> List[bytes]:
+        """Retrieve a batch of pages; equivalent to repeated :meth:`retrieve_page`.
+
+        The sharded simulator (:class:`~repro.pir.sharded.ShardedPirSimulator`)
+        overrides this to serve each shard's sub-batch independently.
+        """
+        return [
+            self.retrieve_page(file_name, page_number, trace)
+            for page_number in page_numbers
+        ]
+
+    # ------------------------------------------------------------------ #
+    # hooks shared with the sharded simulator
+    # ------------------------------------------------------------------ #
+    def _validate_file(self, file_name: str) -> PageFile:
         page_file = self.database.file(file_name)
         if self.enforce_limits:
             self.scp.check_file(page_file)
+        return page_file
+
+    def _validate_page(self, page_file: PageFile, file_name: str, page_number: int) -> None:
         if page_number < 0 or page_number >= page_file.num_pages:
             raise PirError(
                 f"page {page_number} out of range for file {file_name!r} "
                 f"({page_file.num_pages} pages)"
             )
+
+    def _read_page(self, page_file: PageFile, page_number: int) -> bytes:
+        """Fetch the page bytes (overridden by the sharded simulator)."""
+        return page_file.read_page(page_number)
+
+    def _charge(
+        self,
+        page_file: PageFile,
+        file_name: str,
+        page_number: int,
+        trace: Optional[AccessTrace],
+    ) -> None:
+        """Accumulate the simulated cost and record the access."""
         self._pir_time_s += pir_page_retrieval_time(page_file.num_pages, self.spec)
         if trace is not None:
             trace.record_pir_access(file_name, page_number)
-        return page_file.read_page(page_number)
 
     def download_header(self, trace: Optional[AccessTrace] = None) -> bytes:
         """Download the header file in full, without the PIR interface."""

@@ -1,0 +1,416 @@
+"""Sharded PIR databases: split one block/page store across independent shards.
+
+A single PIR database pays its server-side cost per retrieval in the size of
+the *whole* database (for the two-server XOR protocol, each server XORs about
+half of its blocks per answered subset).  Sharding splits the database into
+``S`` independent sub-databases so each retrieval is served by the one shard
+owning the requested block, cutting server work per retrieval to ``1/S`` and
+letting the shards answer a batch's sub-streams independently (in a real
+deployment: on separate machines).
+
+Two layers live here, mirroring the two PIR layers of the package:
+
+* :class:`ShardedPir` wraps any block-level
+  :class:`~repro.pir.protocol.PirProtocol`: the block database is split by a
+  :class:`ShardMap` (round-robin or range sharding by block id), one protocol
+  instance is built per shard, and the shard-aware :meth:`ShardedPir.
+  retrieve_many` routes each shard's sub-batch to it independently.
+* :class:`ShardedPirSimulator` is the engine-facing layer: a drop-in
+  :class:`~repro.pir.scp.UsablePirSimulator` whose page reads route through
+  per-shard :class:`PirShard` connections, each owning its slice of every
+  page file.  Traces, plan conformance and the simulated cost model are
+  byte-identical to the unsharded simulator — sharding the simulator is a
+  *physical* storage/throughput decision, invisible to the adversary model.
+
+Privacy note (documented, and asserted by the tests): within a shard the
+underlying protocol's guarantee is untouched, but the adversary additionally
+learns *which shard* a retrieval touched — i.e. ``block_id mod S`` (or its
+range bucket).  This is the standard leakage/throughput trade-off of
+partitioned PIR; deployments pick ``S`` accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..costmodel import DEFAULT_SPEC, SystemSpec
+from ..exceptions import PirError
+from ..storage import Database
+from .access_log import AccessTrace
+from .protocol import PirProtocol, validate_block_database
+from .scp import SecureCoprocessor, UsablePirSimulator
+from .xor_pir import TwoServerXorPir
+
+#: Supported shard-assignment strategies.
+STRATEGIES = ("round-robin", "range")
+
+
+class ShardMap:
+    """Pure index arithmetic: global block id ↔ (shard, local block id).
+
+    ``round-robin`` assigns block ``i`` to shard ``i % S`` (local id
+    ``i // S``); ``range`` splits the id space into ``S`` contiguous runs
+    whose sizes differ by at most one.  Both keep shard sizes balanced for
+    any ``num_blocks``; round-robin additionally balances *hot ranges* (a
+    scan-heavy workload spreads across all shards), which is why it is the
+    default.
+    """
+
+    __slots__ = ("num_blocks", "num_shards", "strategy", "_range_starts")
+
+    def __init__(
+        self, num_blocks: int, num_shards: int, strategy: str = "round-robin"
+    ) -> None:
+        if num_blocks <= 0:
+            raise PirError("a sharded database needs at least one block")
+        if num_shards < 1:
+            raise PirError(f"shard count must be positive, got {num_shards}")
+        if strategy not in STRATEGIES:
+            raise PirError(
+                f"unknown shard strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+        self.num_blocks = num_blocks
+        self.num_shards = num_shards
+        self.strategy = strategy
+        if strategy == "range":
+            base, extra = divmod(num_blocks, num_shards)
+            starts = [0]
+            for shard in range(num_shards):
+                starts.append(starts[-1] + base + (1 if shard < extra else 0))
+            self._range_starts = starts
+        else:
+            self._range_starts = None
+
+    def shard_of(self, index: int) -> int:
+        """The shard owning global block ``index``."""
+        self._check(index)
+        if self.strategy == "round-robin":
+            return index % self.num_shards
+        starts = self._range_starts
+        # shards hold contiguous runs; find the run containing ``index``
+        low, high = 0, self.num_shards - 1
+        while low < high:
+            mid = (low + high + 1) // 2
+            if starts[mid] <= index:
+                low = mid
+            else:
+                high = mid - 1
+        return low
+
+    def local_index(self, index: int) -> int:
+        """The block's position within its owning shard."""
+        self._check(index)
+        if self.strategy == "round-robin":
+            return index // self.num_shards
+        return index - self._range_starts[self.shard_of(index)]
+
+    def locate(self, index: int) -> Tuple[int, int]:
+        """``(shard, local index)`` of a global block id."""
+        return self.shard_of(index), self.local_index(index)
+
+    def global_index(self, shard: int, local: int) -> int:
+        """Inverse of :meth:`locate`."""
+        if shard < 0 or shard >= self.num_shards:
+            raise PirError(f"shard {shard} out of range")
+        if self.strategy == "round-robin":
+            index = local * self.num_shards + shard
+        else:
+            index = self._range_starts[shard] + local
+        self._check(index)
+        return index
+
+    def shard_sizes(self) -> List[int]:
+        """Number of blocks each shard owns (sizes differ by at most one)."""
+        sizes = [0] * self.num_shards
+        if self.strategy == "round-robin":
+            base, extra = divmod(self.num_blocks, self.num_shards)
+            for shard in range(self.num_shards):
+                sizes[shard] = base + (1 if shard < extra else 0)
+        else:
+            starts = self._range_starts
+            for shard in range(self.num_shards):
+                sizes[shard] = starts[shard + 1] - starts[shard]
+        return sizes
+
+    def split(self, blocks: Sequence) -> List[List]:
+        """Partition ``blocks`` (indexed by global id) into per-shard lists.
+
+        Each shard's list is ordered by local id, so
+        ``split(blocks)[s][l] == blocks[global_index(s, l)]``.
+        """
+        if len(blocks) != self.num_blocks:
+            raise PirError(
+                f"expected {self.num_blocks} blocks to split, got {len(blocks)}"
+            )
+        if self.strategy == "round-robin":
+            return [list(blocks[shard :: self.num_shards]) for shard in range(self.num_shards)]
+        starts = self._range_starts
+        return [
+            list(blocks[starts[shard] : starts[shard + 1]])
+            for shard in range(self.num_shards)
+        ]
+
+    def _check(self, index: int) -> None:
+        if index < 0 or index >= self.num_blocks:
+            raise PirError(f"block index {index} out of range")
+
+
+#: Builds the per-shard protocol instance from that shard's block list.
+ProtocolFactory = Callable[[Sequence[bytes]], PirProtocol]
+
+
+class ShardedPir(PirProtocol):
+    """A PIR protocol over ``S`` independent sub-databases.
+
+    The block database is split by a :class:`ShardMap`; one underlying
+    protocol instance (default: :class:`~repro.pir.xor_pir.TwoServerXorPir`)
+    serves each shard.  :meth:`retrieve_many` groups a batch by owning shard
+    and answers each shard's sub-batch through that shard's own batched
+    retrieval, so the per-retrieval server work scales with the shard size,
+    not the database size.
+    """
+
+    def __init__(
+        self,
+        blocks: Sequence[bytes],
+        num_shards: int,
+        strategy: str = "round-robin",
+        protocol_factory: Optional[ProtocolFactory] = None,
+        log_queries: bool = False,
+    ) -> None:
+        blocks = validate_block_database(blocks)
+        if num_shards > len(blocks):
+            raise PirError(
+                f"cannot split {len(blocks)} blocks across {num_shards} shards "
+                "(every shard needs at least one block)"
+            )
+        self.shard_map = ShardMap(len(blocks), num_shards, strategy)
+        if protocol_factory is None:
+            protocol_factory = lambda shard_blocks: TwoServerXorPir(
+                shard_blocks, log_queries=log_queries
+            )
+        self.shards: List[PirProtocol] = [
+            protocol_factory(shard_blocks)
+            for shard_blocks in self.shard_map.split(blocks)
+        ]
+        self._num_blocks = len(blocks)
+
+    @property
+    def num_blocks(self) -> int:
+        return self._num_blocks
+
+    @property
+    def num_shards(self) -> int:
+        return self.shard_map.num_shards
+
+    def retrieve(self, index: int) -> bytes:
+        shard, local = self.shard_map.locate(index)
+        return self.shards[shard].retrieve(local)
+
+    def retrieve_many(self, indices: Sequence[int]) -> List[bytes]:
+        """Batched retrieval routed shard by shard.
+
+        Each shard answers its sub-batch independently (one batched call per
+        shard); results are scattered back into request order, so the method
+        is a drop-in replacement for any protocol's ``retrieve_many``.
+        """
+        indices = list(indices)
+        by_shard: Dict[int, List[Tuple[int, int]]] = {}
+        for position, index in enumerate(indices):
+            shard, local = self.shard_map.locate(index)
+            by_shard.setdefault(shard, []).append((position, local))
+        results: List[Optional[bytes]] = [None] * len(indices)
+        for shard, sub_batch in by_shard.items():
+            answers = self.shards[shard].retrieve_many([local for _, local in sub_batch])
+            for (position, _), answer in zip(sub_batch, answers):
+                results[position] = answer
+        return results
+
+
+# ---------------------------------------------------------------------- #
+# engine-facing layer: sharding the simulated page store
+# ---------------------------------------------------------------------- #
+class ShardedPageStore:
+    """The immutable partitioned storage behind a sharded page simulator.
+
+    Splits every page file of a database across ``num_shards`` slices by a
+    per-file :class:`ShardMap` (pages are copied out once, the way an actual
+    shard holds its partition on its own storage).  The store carries no
+    per-connection state, so one store is safely shared by every
+    :class:`ShardedPirSimulator` built over it — the query engine builds one
+    per engine and hands it to all worker contexts instead of re-copying the
+    database per context.
+    """
+
+    __slots__ = ("num_shards", "strategy", "maps", "_shard_pages")
+
+    def __init__(
+        self, database: Database, num_shards: int, strategy: str = "round-robin"
+    ) -> None:
+        if num_shards < 1:
+            raise PirError(f"shard count must be positive, got {num_shards}")
+        if strategy not in STRATEGIES:
+            raise PirError(
+                f"unknown shard strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+        self.num_shards = num_shards
+        self.strategy = strategy
+        self.maps: Dict[str, ShardMap] = {}
+        self._shard_pages: List[Dict[str, List[bytes]]] = [
+            {} for _ in range(num_shards)
+        ]
+        for file_name in database.file_names():
+            page_file = database.file(file_name)
+            if page_file.num_pages == 0:
+                continue
+            # small files may have fewer pages than shards; they simply
+            # occupy the first few shards
+            file_map = ShardMap(
+                page_file.num_pages, min(num_shards, page_file.num_pages), strategy
+            )
+            self.maps[file_name] = file_map
+            all_pages = [page_file.read_page(n) for n in range(page_file.num_pages)]
+            for shard_id, shard_pages in enumerate(file_map.split(all_pages)):
+                self._shard_pages[shard_id][file_name] = shard_pages
+
+    def locate(self, file_name: str, page_number: int) -> Tuple[int, int]:
+        """``(shard, local page)`` owning a logical page."""
+        try:
+            file_map = self.maps[file_name]
+        except KeyError:
+            raise PirError(f"file {file_name!r} has no sharded pages") from None
+        return file_map.locate(page_number)
+
+    def shard_pages(self, shard_id: int) -> Dict[str, List[bytes]]:
+        return self._shard_pages[shard_id]
+
+
+class PirShard:
+    """One independent sub-database connection of a sharded page store.
+
+    References its shard's slice of the (shared, immutable) store and tracks
+    the serving statistics of this connection.  Worker contexts of the query
+    engine each hold their own connection objects, so per-worker shard load
+    can be inspected independently.
+    """
+
+    __slots__ = ("shard_id", "pages_served", "_pages")
+
+    def __init__(self, shard_id: int, pages: Optional[Dict[str, List[bytes]]] = None) -> None:
+        self.shard_id = shard_id
+        self.pages_served = 0
+        self._pages: Dict[str, List[bytes]] = pages if pages is not None else {}
+
+    def add_file(self, file_name: str, pages: List[bytes]) -> None:
+        self._pages[file_name] = pages
+
+    def num_pages(self, file_name: str) -> int:
+        return len(self._pages.get(file_name, ()))
+
+    def read(self, file_name: str, local_page: int) -> bytes:
+        try:
+            page = self._pages[file_name][local_page]
+        except (KeyError, IndexError):
+            raise PirError(
+                f"shard {self.shard_id} does not hold page {local_page} of "
+                f"file {file_name!r}"
+            ) from None
+        self.pages_served += 1
+        return page
+
+
+class ShardedPirSimulator(UsablePirSimulator):
+    """A :class:`UsablePirSimulator` whose page reads route through shards.
+
+    Every page file of the database is split across ``num_shards``
+    :class:`PirShard` connections by a per-file :class:`ShardMap`.  The
+    partitioned pages live in a :class:`ShardedPageStore`; pass an existing
+    ``store`` to share one partitioning across several simulators (the query
+    engine does this for its worker contexts — connections and their stats
+    stay per-simulator, the page bytes are stored once).  The adversary
+    model is unchanged: traces record the *logical* file name and page
+    number, the simulated retrieval time is charged against the logical
+    file's page count, and all validation runs against the logical database —
+    so query results, traces and response times are bit-identical to the
+    unsharded simulator for every shard count (property-tested).
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        scp: Optional[SecureCoprocessor] = None,
+        spec: SystemSpec = DEFAULT_SPEC,
+        enforce_limits: bool = True,
+        num_shards: int = 2,
+        strategy: str = "round-robin",
+        store: Optional[ShardedPageStore] = None,
+    ) -> None:
+        super().__init__(database, scp=scp, spec=spec, enforce_limits=enforce_limits)
+        if store is None:
+            store = ShardedPageStore(database, num_shards, strategy)
+        elif store.num_shards != num_shards or store.strategy != strategy:
+            raise PirError(
+                "supplied shard store does not match the requested shard layout"
+            )
+        self.store = store
+        self.num_shards = num_shards
+        self.strategy = strategy
+        #: This simulator's own connections to the shared store's shards.
+        self.shards = [
+            PirShard(shard_id, store.shard_pages(shard_id))
+            for shard_id in range(num_shards)
+        ]
+
+    def shard_of_page(self, file_name: str, page_number: int) -> Tuple[int, int]:
+        """``(shard, local page)`` serving a logical page — what a sharded
+        deployment's adversary would additionally observe."""
+        return self.store.locate(file_name, page_number)
+
+    def shard_page_counts(self) -> List[Dict[str, int]]:
+        """Per-shard ``{file_name: pages owned}`` (storage balance)."""
+        return [
+            {
+                name: shard.num_pages(name)
+                for name in self.store.maps
+                if shard.num_pages(name)
+            }
+            for shard in self.shards
+        ]
+
+    def shard_load(self) -> List[int]:
+        """Pages served so far by each shard connection (serving balance)."""
+        return [shard.pages_served for shard in self.shards]
+
+    def _read_page(self, page_file, page_number: int) -> bytes:
+        shard, local = self.shard_of_page(page_file.name, page_number)
+        return self.shards[shard].read(page_file.name, local)
+
+    def retrieve_pages(
+        self,
+        file_name: str,
+        page_numbers: Sequence[int],
+        trace: Optional[AccessTrace] = None,
+    ) -> List[bytes]:
+        """Batched retrieval: each shard serves its sub-batch independently.
+
+        Validation, cost accounting and trace recording are performed in
+        request order (identical to repeated :meth:`retrieve_page` calls);
+        only the byte reads are grouped by owning shard, which is the part a
+        real deployment answers on independent machines.
+        """
+        page_numbers = list(page_numbers)
+        page_file = self._validate_file(file_name)
+        for page_number in page_numbers:
+            self._validate_page(page_file, file_name, page_number)
+        by_shard: Dict[int, List[Tuple[int, int]]] = {}
+        for position, page_number in enumerate(page_numbers):
+            shard, local = self.shard_of_page(file_name, page_number)
+            by_shard.setdefault(shard, []).append((position, local))
+        results: List[Optional[bytes]] = [None] * len(page_numbers)
+        for shard, sub_batch in by_shard.items():
+            connection = self.shards[shard]
+            for position, local in sub_batch:
+                results[position] = connection.read(file_name, local)
+        for page_number in page_numbers:
+            self._charge(page_file, file_name, page_number, trace)
+        return results

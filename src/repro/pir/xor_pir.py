@@ -73,10 +73,13 @@ class XorPirServer:
         return accumulator.to_bytes(self.block_size, "big")
 
     def answer_mask(self, mask: int) -> bytes:
-        """XOR of the blocks whose indices are set bits of ``mask``."""
-        if mask < 0 or mask >> len(self._blocks):
-            raise PirError("subset mask names a block index out of range")
-        indices = mask_indices(mask)
+        """XOR of the blocks whose indices are set bits of ``mask``.
+
+        The mask is validated against the database size (a corrupted mask
+        would otherwise misdecode or index past the block list) — see
+        :func:`repro.pir.batch.mask_indices`.
+        """
+        indices = mask_indices(mask, num_blocks=len(self._blocks))
         if self.log_queries:
             self.queries_seen.append(frozenset(indices))
         accumulator = 0

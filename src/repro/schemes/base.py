@@ -21,7 +21,7 @@ import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from ..costmodel import CostModel, DEFAULT_SPEC, ResponseTime, SystemSpec
 from ..exceptions import PlanViolationError, SchemeError
@@ -70,6 +70,27 @@ def client_state_scope(pir: "UsablePirSimulator", rng: random.Random):
         _client_state_var.reset(token)
 
 
+class RemoteSolve(NamedTuple):
+    """The picklable portion of a prepared query's solve phase.
+
+    ``function`` must be a module-level callable (picklable by reference) and
+    ``args`` plain data (page bytes, node ids, …); the function returns
+    ``(path, solve_seconds)``.  The engine's process workers execute exactly
+    this — the CPU-bound record decode, CSR assembly and search — in a
+    subprocess, and the result is stitched back into a
+    :class:`QueryResult` by :meth:`PreparedQuery.finish`.
+
+    ``cache_key`` names the assembled subgraph's entry in the worker's
+    decode cache (when the scheme has one): the engine probes it before
+    shipping the solve to a subprocess, because a cached assembly makes the
+    in-process solve cheaper than any pickle round trip.
+    """
+
+    function: Callable
+    args: Tuple
+    cache_key: Optional[Tuple] = None
+
+
 class PreparedQuery:
     """A query whose PIR rounds have completed.
 
@@ -78,16 +99,38 @@ class PreparedQuery:
     phase (region decoding, subgraph assembly and the shortest-path search)
     lets the engine pipeline a batch: the PIR rounds of the next query overlap
     the client-side solve of the current one.
+
+    Schemes whose solve phase is pure data → path (the CSR-native pipelines)
+    additionally supply ``remote`` — a picklable :class:`RemoteSolve` — and
+    ``finish``, which turns the remote result back into a
+    :class:`QueryResult`.  That pair is what lets the engine ship the
+    CPU-bound decode to process workers (``worker_mode="process"``) while
+    retrieval and plan verification stay in the parent.
     """
 
-    __slots__ = ("_solve",)
+    __slots__ = ("_solve", "remote", "_finish")
 
-    def __init__(self, solve: Callable[[], "QueryResult"]) -> None:
+    def __init__(
+        self,
+        solve: Callable[[], "QueryResult"],
+        remote: Optional[RemoteSolve] = None,
+        finish: Optional[Callable[[Path, float], "QueryResult"]] = None,
+    ) -> None:
+        if (remote is None) != (finish is None):
+            raise SchemeError("remote and finish must be supplied together")
         self._solve = solve
+        self.remote = remote
+        self._finish = finish
 
     def solve(self) -> "QueryResult":
         """Run the remaining client-side work and produce the result."""
         return self._solve()
+
+    def finish(self, path: Path, solve_seconds: float) -> "QueryResult":
+        """Complete the query from a remotely executed solve phase."""
+        if self._finish is None:
+            raise SchemeError("this prepared query has no remote solve phase")
+        return self._finish(path, solve_seconds)
 
 
 class RoundManager:
@@ -117,7 +160,18 @@ class RoundManager:
         return data
 
     def fetch_many(self, file_name: str, page_numbers: Sequence[int]) -> List[bytes]:
-        return [self.fetch(file_name, page_number) for page_number in page_numbers]
+        """Fetch a batch of pages in one call.
+
+        Routed through the simulator's batched retrieval so a sharded store
+        serves each shard's sub-batch through its own connection; traces and
+        costs are identical to repeated :meth:`fetch` calls.
+        """
+        page_numbers = list(page_numbers)
+        data = self._pir.retrieve_pages(file_name, page_numbers, self._trace)
+        self._round_counts[file_name] = (
+            self._round_counts.get(file_name, 0) + len(page_numbers)
+        )
+        return data
 
     def pages_fetched_this_round(self, file_name: str) -> int:
         return self._round_counts.get(file_name, 0)

@@ -33,7 +33,7 @@ from ..precompute import BorderProducts, compute_border_products
 from ..storage import Database
 from . import assembly
 from .assembly import csr_shortest_path
-from .base import PreparedQuery, QueryResult, Scheme, Timer
+from .base import PreparedQuery, QueryResult, RemoteSolve, Scheme, Timer
 from .files import (
     DATA_FILE,
     HeaderInfo,
@@ -220,4 +220,12 @@ class ConciseIndexScheme(Scheme):
                 path = csr_shortest_path(subgraph, source, target)
             return self.finish_query(path, trace, timer.seconds)
 
-        return PreparedQuery(solve)
+        def finish(path, solve_seconds: float) -> QueryResult:
+            return self.finish_query(path, trace, timer.seconds + solve_seconds)
+
+        remote = RemoteSolve(
+            assembly.solve_region_query,
+            (payloads, source, target),
+            assembly.region_cache_key(payloads),
+        )
+        return PreparedQuery(solve, remote=remote, finish=finish)

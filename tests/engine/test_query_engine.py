@@ -1,8 +1,10 @@
 """Tests for the batched query engine and its LRU page cache."""
 
+import threading
+
 import pytest
 
-from repro.engine import BatchResult, LruCache, QueryEngine
+from repro.engine import BatchResult, LruCache, NullCache, QueryEngine
 from repro.exceptions import SchemeError
 
 
@@ -50,6 +52,61 @@ class TestLruCache:
         cache.clear()
         assert len(cache) == 0
 
+    def test_concurrent_get_put_stays_consistent(self):
+        """The pipelined worker pattern: one thread fills the cache while
+        another reads it.  The cache must never exceed capacity, never lose
+        accounting, and never raise from the concurrent dict mutation."""
+        cache = LruCache(32)
+        keys = [f"page-{index}" for index in range(100)]
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def writer(offset):
+            try:
+                barrier.wait()
+                for _ in range(5):
+                    for index, key in enumerate(keys):
+                        cache.put(key, index + offset)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def reader():
+            try:
+                barrier.wait()
+                for _ in range(5):
+                    for key in keys:
+                        value = cache.get(key)
+                        assert value is None or isinstance(value, int)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(0,)),
+            threading.Thread(target=writer, args=(1000,)),
+            threading.Thread(target=reader),
+            threading.Thread(target=reader),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(cache) <= cache.capacity
+        assert cache.hits + cache.misses == 2 * 5 * len(keys)
+
+
+class TestNullCache:
+    def test_every_get_misses(self):
+        cache = NullCache()
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert cache.misses == 1
+        assert cache.hits == 0
+        assert cache.hit_rate == 0.0
+        assert len(cache) == 0
+        assert "a" not in cache
+        cache.clear()
+
 
 class TestQueryEngine:
     def test_single_query_matches_scheme(self, ci_scheme, query_pairs):
@@ -87,10 +144,53 @@ class TestQueryEngine:
         assert batch.true_costs is None
         assert batch.all_costs_correct  # vacuously true
 
-    def test_empty_batch_rejected(self, ci_scheme):
+    def test_empty_batch_returns_empty_result(self, ci_scheme):
+        """Regression: ``run_batch([])`` used to crash — ``min(workers, 0)``
+        produced ``ThreadPoolExecutor(max_workers=0)`` → ``ValueError``."""
+        engine = QueryEngine(ci_scheme)
+        batch = engine.run_batch([])
+        assert isinstance(batch, BatchResult)
+        assert batch.num_queries == 0
+        assert batch.workers == 0
+        assert batch.results == []
+        assert batch.pairs == []
+        assert batch.true_costs == {}
+        assert batch.all_costs_correct
+        assert batch.indistinguishable
+        assert batch.queries_per_second == 0.0
+        assert batch.mean_response_s == 0.0
+
+    def test_empty_batch_without_verification(self, ci_scheme):
+        batch = QueryEngine(ci_scheme).run_batch([], verify_costs=False, workers=4)
+        assert batch.num_queries == 0
+        assert batch.true_costs is None
+
+    def test_disabled_cache_counts_misses_only(self, ci_scheme, query_pairs):
+        engine = QueryEngine(ci_scheme, cache_entries=0)
+        first = engine.run_batch(query_pairs, verify_costs=False)
+        second = engine.run_batch(query_pairs, verify_costs=False)
+        assert first.cache_hits == 0
+        assert second.cache_hits == 0  # nothing is ever retained
+        assert second.cache_misses > 0
+        assert second.all_costs_correct
+
+    def test_disabled_cache_matches_cached_results(self, ci_scheme, query_pairs):
+        cached = QueryEngine(ci_scheme).run_batch(query_pairs, verify_costs=False)
+        uncached = QueryEngine(ci_scheme, cache_entries=0).run_batch(
+            query_pairs, verify_costs=False
+        )
+        for with_cache, without_cache in zip(cached.results, uncached.results):
+            assert with_cache.path.nodes == without_cache.path.nodes
+            assert with_cache.adversary_view == without_cache.adversary_view
+
+    def test_negative_cache_entries_rejected(self, ci_scheme):
+        with pytest.raises(SchemeError):
+            QueryEngine(ci_scheme, cache_entries=-1)
+
+    def test_invalid_worker_mode_rejected(self, ci_scheme, query_pairs):
         engine = QueryEngine(ci_scheme)
         with pytest.raises(SchemeError):
-            engine.run_batch([])
+            engine.run_batch(query_pairs, worker_mode="greenlet")
 
     def test_throughput_metrics(self, ci_scheme, query_pairs):
         engine = QueryEngine(ci_scheme)

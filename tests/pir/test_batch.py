@@ -51,6 +51,15 @@ class TestMaskHelpers:
         with pytest.raises(PirError):
             random_subset_masks(random.Random(1), 4, -1)
 
+    def test_mask_validated_against_database_size(self):
+        # bit 8 names block 8, one past a 8-block database
+        with pytest.raises(PirError):
+            mask_indices(1 << 8, num_blocks=8)
+        assert mask_indices((1 << 8) - 1, num_blocks=8) == list(range(8))
+
+    def test_mask_validation_off_without_num_blocks(self):
+        assert mask_indices(1 << 40) == [40]
+
 
 class TestAnswerMask:
     def test_mask_answer_matches_subset_answer(self):
@@ -63,6 +72,13 @@ class TestAnswerMask:
         server = XorPirServer(make_blocks(3, 8))
         with pytest.raises(PirError):
             server.answer_mask(1 << 3)
+
+    def test_corrupted_mask_rejected_not_misdecoded(self):
+        # a mask whose low bits are valid but which also names block 7 of a
+        # 3-block database must error, not silently drop the invalid bit
+        server = XorPirServer(make_blocks(3, 8))
+        with pytest.raises(PirError):
+            server.answer_mask(0b101 | (1 << 7))
 
     def test_answer_many(self):
         blocks = make_blocks(5, 8)

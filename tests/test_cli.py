@@ -191,6 +191,88 @@ class TestBatchCommand:
         assert code == 2
         assert "--workers must be positive" in capsys.readouterr().err
 
+    def test_batch_with_shards_and_process_workers(self, tmp_path, capsys):
+        network_file = tmp_path / "net.txt"
+        main(["generate", "--nodes", "70", "--seed", "2", "--output", str(network_file)])
+        code = main(
+            [
+                "batch",
+                "--network",
+                str(network_file),
+                "--page-size",
+                "256",
+                "--queries",
+                "5",
+                "--shards",
+                "4",
+                "--workers",
+                "2",
+                "--worker-mode",
+                "process",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "worker mode     : process" in output
+        assert "pir shards      : 4" in output
+        assert "costs correct   : True" in output
+        assert "indistinguishable: True" in output
+
+    def test_batch_cache_entries_zero_disables_caching(self, tmp_path, capsys):
+        network_file = tmp_path / "net.txt"
+        main(["generate", "--nodes", "70", "--seed", "2", "--output", str(network_file)])
+        code = main(
+            [
+                "batch",
+                "--network",
+                str(network_file),
+                "--page-size",
+                "256",
+                "--queries",
+                "4",
+                "--cache-entries",
+                "0",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "page cache      : 0 hits" in output
+        assert "costs correct   : True" in output
+
+    def test_batch_rejects_negative_cache_entries(self, tmp_path, capsys):
+        network_file = tmp_path / "net.txt"
+        main(["generate", "--nodes", "70", "--seed", "2", "--output", str(network_file)])
+        code = main(
+            [
+                "batch",
+                "--network",
+                str(network_file),
+                "--queries",
+                "3",
+                "--cache-entries",
+                "-1",
+            ]
+        )
+        assert code == 2
+        assert "--cache-entries must be non-negative" in capsys.readouterr().err
+
+    def test_batch_rejects_invalid_shards(self, tmp_path, capsys):
+        network_file = tmp_path / "net.txt"
+        main(["generate", "--nodes", "70", "--seed", "2", "--output", str(network_file)])
+        code = main(
+            [
+                "batch",
+                "--network",
+                str(network_file),
+                "--queries",
+                "3",
+                "--shards",
+                "0",
+            ]
+        )
+        assert code == 2
+        assert "--shards must be positive" in capsys.readouterr().err
+
     def test_batch_no_verify_skips_costs(self, tmp_path, capsys):
         network_file = tmp_path / "net.txt"
         main(["generate", "--nodes", "70", "--seed", "2", "--output", str(network_file)])
