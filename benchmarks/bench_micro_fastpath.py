@@ -337,6 +337,59 @@ def run_sharded_pir_microbench(num_nodes=1000, num_queries=80, num_shards=4, see
     }
 
 
+def run_store_backend_microbench(num_pages=1024, page_bytes=1024, reads=2048, seed=17):
+    """Page-store backends: append and read throughput, batch vs. per-page loop.
+
+    Appends the same page set to every backend (memory, mmap, SQLite), then
+    serves an identical random read stream twice — once as a per-page
+    ``get_page`` loop and once through ``get_pages_batch`` — and reports
+    pages/s for each.  Every backend must return byte-identical pages; there
+    is deliberately no speed floor for the disk backends, whose point is
+    capacity (out-of-core databases), not speed.
+    """
+    import tempfile
+
+    from repro.storage import open_page_store
+
+    rng = random.Random(seed)
+    payloads = [
+        bytes(rng.randrange(256) for _ in range(rng.randrange(1, page_bytes + 1)))
+        for _ in range(num_pages)
+    ]
+    stream = [rng.randrange(num_pages) for _ in range(reads)]
+    expected = None
+    results = {}
+    with tempfile.TemporaryDirectory(prefix="repro-storebench-") as directory:
+        for backend in ("memory", "mmap", "sqlite"):
+            store = open_page_store(backend, "bench", page_size=page_bytes, directory=directory)
+            append_started = time.perf_counter()
+            for payload in payloads:
+                store.append_page(payload)
+            store.flush()
+            append_s = time.perf_counter() - append_started
+
+            loop_s, loop_pages = _time(lambda: [store.get_page(n) for n in stream])
+            batch_s, batch_pages = _time(lambda: store.get_pages_batch(stream))
+
+            assert loop_pages == batch_pages, f"{backend}: batch disagrees with loop"
+            if expected is None:
+                expected = loop_pages
+            assert loop_pages == expected, f"{backend}: pages differ from memory backend"
+            results[f"store_{backend}"] = {
+                "pages": num_pages,
+                "page_bytes": page_bytes,
+                "reads": reads,
+                "append_pages_per_s": num_pages / append_s,
+                "loop_pages_per_s": reads / loop_s,
+                "batch_pages_per_s": reads / batch_s,
+                "fast_s": batch_s,
+                "reference_s": loop_s,
+                "speedup": loop_s / batch_s,
+            }
+            store.close()
+    return results
+
+
 def _format(name, result):
     return (
         f"{name}: reference {result['reference_s'] * 1000:.1f} ms, "
@@ -353,6 +406,7 @@ def _run_all():
     results = {"dijkstra": dijkstra, "xor_pir": pir}
     results.update({f"batch_{name}": result for name, result in schemes.items()})
     results["sharded_pir"] = sharded
+    results.update(run_store_backend_microbench())
     return results
 
 

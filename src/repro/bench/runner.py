@@ -77,6 +77,8 @@ def run_workload(
     pipeline: bool = True,
     worker_mode: str = "thread",
     shards: int = 1,
+    store_backend: Optional[str] = None,
+    store_dir=None,
 ) -> WorkloadSummary:
     """Execute every query of the workload and aggregate the paper's metrics.
 
@@ -91,12 +93,21 @@ def run_workload(
     page store into that many independent sub-databases; all of them leave
     the results bit-identical to serial execution.  ``cache_entries`` sizes
     each worker's decode cache (``0`` disables caching; ignored when
-    ``engine`` is supplied, as is ``shards``).
+    ``engine`` is supplied, as are ``shards`` and ``store_backend``).
+    ``store_backend``/``store_dir`` re-home the scheme's database onto the
+    named page-store backend (memory/mmap/sqlite) and serve the workload's
+    PIR reads from it.
     """
     if not pairs:
         raise SchemeError("cannot run an empty workload")
     if engine is None:
-        engine = QueryEngine(scheme, cache_entries=cache_entries, shards=shards)
+        engine = QueryEngine(
+            scheme,
+            cache_entries=cache_entries,
+            shards=shards,
+            store_backend=store_backend,
+            store_dir=store_dir,
+        )
     batch = engine.run_batch(
         pairs,
         verify_costs=verify_costs,

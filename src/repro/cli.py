@@ -63,7 +63,7 @@ from .schemes import (
     ConciseIndexScheme,
     PassageIndexScheme,
 )
-from .storage import save_database
+from .storage import STORE_BACKENDS, save_database, store_backend_scope
 
 #: Scheme name → builder accepting ``(network, spec, **cli_options)``.
 _SCHEME_BUILDERS: Dict[str, Callable] = {
@@ -183,6 +183,19 @@ def _add_scheme_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--page-size", type=int, default=None, help="page size in bytes")
     parser.add_argument("--epsilon", type=float, default=0.1, help="APX deviation budget")
     parser.add_argument("--cluster-pages", type=int, default=2, help="PI* pages per region")
+    parser.add_argument(
+        "--store",
+        choices=STORE_BACKENDS,
+        default=None,
+        help="page-store backend the database is built on: memory (default), "
+        "mmap or sqlite (out-of-core; the build streams pages to disk)",
+    )
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        help="directory for the mmap/sqlite store files (default: a "
+        "self-cleaning temporary directory)",
+    )
 
 
 def _load_network_and_spec(args: argparse.Namespace):
@@ -200,10 +213,17 @@ def _load_network_and_spec(args: argparse.Namespace):
 def _build_scheme(args: argparse.Namespace):
     network, spec = _load_network_and_spec(args)
     builder = _SCHEME_BUILDERS[args.scheme]
-    scheme = builder(
+    if getattr(args, "store", None):
+        # scope (rather than kwargs) so every builder — including the ones
+        # without explicit store parameters — streams onto the backend
+        with store_backend_scope(args.store, args.store_dir):
+            return builder(
+                network, spec=spec, epsilon=args.epsilon,
+                cluster_pages=args.cluster_pages,
+            )
+    return builder(
         network, spec=spec, epsilon=args.epsilon, cluster_pages=args.cluster_pages
     )
-    return scheme
 
 
 def _command_datasets(args: argparse.Namespace) -> int:
@@ -238,6 +258,9 @@ def _command_build(args: argparse.Namespace) -> int:
     print(f"database      : {scheme.storage_mb:.3f} MB")
     print(f"query plan    : {scheme.plan.num_rounds} rounds, "
           f"{scheme.plan.total_pir_pages()} PIR pages per query")
+    if scheme.database.store_backend != "memory":
+        print(f"page store    : {scheme.database.store_backend} "
+              f"({scheme.database.store_dir})")
     for name in sorted(scheme.database.file_names()):
         page_file = scheme.database.file(name)
         print(f"  file {name:<8}: {page_file.num_pages} pages "
@@ -305,6 +328,8 @@ def _command_batch(args: argparse.Namespace) -> int:
     print(f"worker mode     : {batch.worker_mode}")
     if batch.shards > 1:
         print(f"pir shards      : {batch.shards}")
+    if batch.store_backend != "memory":
+        print(f"page store      : {batch.store_backend}")
     print(f"wall time       : {batch.wall_seconds:.3f} s "
           f"({batch.queries_per_second:.1f} queries/s)")
     print(f"mean response   : {batch.mean_response_s:.2f} s (simulated)")

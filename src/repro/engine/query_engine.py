@@ -64,6 +64,7 @@ from ..pir import (
 )
 from ..schemes import files as scheme_files
 from ..schemes.base import PreparedQuery, QueryResult, Scheme, client_state_scope
+from ..storage import clone_database
 from .cache import LruCache, NullCache
 
 QueryPair = Tuple[NodeId, NodeId]
@@ -101,6 +102,8 @@ class BatchResult:
     worker_mode: str = "thread"
     #: Number of PIR database shards each worker context connects to.
     shards: int = 1
+    #: Page-store backend the engine served the batch from.
+    store_backend: str = "memory"
 
     @property
     def num_queries(self) -> int:
@@ -143,7 +146,10 @@ class QueryEngine:
     caching entirely — measurement runs use this to exclude cache effects).
     ``shards`` splits the PIR page store across that many independent
     sub-databases; every worker context owns its own connections to them.
-    Neither knob changes query results, traces or adversary views.
+    ``store_backend``/``store_dir`` re-home the scheme's database onto
+    another page-store backend (memory/mmap/sqlite; pages stream across, the
+    database is never materialised in RAM) and serve every PIR read from it.
+    None of these knobs changes query results, traces or adversary views.
     """
 
     def __init__(
@@ -152,6 +158,8 @@ class QueryEngine:
         cache_entries: int = 512,
         shards: int = 1,
         shard_strategy: str = "round-robin",
+        store_backend: Optional[str] = None,
+        store_dir=None,
     ) -> None:
         if cache_entries < 0:
             raise SchemeError(
@@ -160,23 +168,37 @@ class QueryEngine:
         if shards < 1:
             raise SchemeError(f"shards must be positive, got {shards}")
         self.scheme = scheme
+        #: The database every PIR read is served from: the scheme's own, or a
+        #: bit-identical clone on the requested page-store backend.
+        if store_backend is not None and store_backend != scheme.database.store_backend:
+            self.database = clone_database(
+                scheme.database, store_backend=store_backend, store_dir=store_dir
+            )
+        else:
+            self.database = scheme.database
+        self.store_backend = self.database.store_backend
         #: The shared plan every query of every batch runs under.
         self.plan = scheme.plan
         self.cache_entries = cache_entries
         self.shards = shards
         self.shard_strategy = shard_strategy
         #: The page partitioning shared by every worker context's shard
-        #: connections (pages are stored once, not once per context).
+        #: connections (a pure view over :attr:`database` — no page copies).
         self._shard_store = (
-            ShardedPageStore(scheme.database, shards, shard_strategy)
+            ShardedPageStore(self.database, shards, shard_strategy)
             if shards > 1
             else None
         )
         self.page_cache = self._new_cache()
         #: Worker contexts, created lazily and reused across batches so their
         #: caches keep paying off; context 0 wraps :attr:`page_cache` (and the
-        #: scheme's own PIR simulator when the store is unsharded).
-        first_pir = scheme.pir if shards == 1 else self._new_pir()
+        #: scheme's own PIR simulator when the store is unsharded and
+        #: un-re-homed).
+        first_pir = (
+            scheme.pir
+            if shards == 1 and self.database is scheme.database
+            else self._new_pir()
+        )
         self._contexts: List[_WorkerContext] = [
             _WorkerContext(first_pir, self.page_cache)
         ]
@@ -184,6 +206,12 @@ class QueryEngine:
     def execute(self, source: NodeId, target: NodeId) -> QueryResult:
         """Answer a single query through the engine's page cache."""
         with scheme_files.decode_cache_scope(self.page_cache):
+            if self.database is not self.scheme.database:
+                # serve the query from the re-homed database via context 0
+                with client_state_scope(
+                    self._contexts[0].pir, self.scheme._dummy_rng
+                ):
+                    return self.scheme.query(source, target)
             return self.scheme.query(source, target)
 
     def run_batch(
@@ -231,6 +259,7 @@ class QueryEngine:
                 workers=0,
                 worker_mode=worker_mode,
                 shards=self.shards,
+                store_backend=self.store_backend,
             )
         workers = min(workers, len(pairs))
         contexts = self._contexts_for(workers)
@@ -284,6 +313,7 @@ class QueryEngine:
             workers=workers,
             worker_mode=worker_mode,
             shards=self.shards,
+            store_backend=self.store_backend,
         )
 
     # ------------------------------------------------------------------ #
@@ -301,7 +331,7 @@ class QueryEngine:
         scheme = self.scheme
         if self.shards > 1:
             return ShardedPirSimulator(
-                scheme.database,
+                self.database,
                 scp=SecureCoprocessor(scheme.spec),
                 spec=scheme.spec,
                 enforce_limits=scheme.pir.enforce_limits,
@@ -310,7 +340,7 @@ class QueryEngine:
                 store=self._shard_store,
             )
         return UsablePirSimulator(
-            scheme.database,
+            self.database,
             scp=SecureCoprocessor(scheme.spec),
             spec=scheme.spec,
             enforce_limits=scheme.pir.enforce_limits,

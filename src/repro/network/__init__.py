@@ -12,13 +12,24 @@ from .dijkstra import (
     shortest_path,
     shortest_path_cost,
 )
-from .generators import grid_network, random_planar_network
+from .generators import (
+    NodeRecord,
+    grid_network,
+    network_from_records,
+    random_planar_network,
+    stream_cluster_network,
+    stream_grid_network,
+)
 from .indexed import CsrBuilder, CsrGraph, build_csr, csr_for, csr_shortest_path
 from .graph import Edge, Node, NodeId, RoadNetwork
 from .io import (
+    DIMACS_SCALE,
+    iter_dimacs_records,
     network_from_string,
     network_to_string,
+    read_dimacs,
     read_network,
+    write_dimacs,
     write_network,
 )
 from .paths import Path, SearchStats, validate_path
@@ -26,9 +37,11 @@ from .paths import Path, SearchStats, validate_path
 __all__ = [
     "CsrBuilder",
     "CsrGraph",
+    "DIMACS_SCALE",
     "Edge",
     "Node",
     "NodeId",
+    "NodeRecord",
     "Path",
     "RoadNetwork",
     "SearchStats",
@@ -42,9 +55,12 @@ __all__ = [
     "dijkstra_tree",
     "euclidean_heuristic",
     "grid_network",
+    "iter_dimacs_records",
+    "network_from_records",
     "network_from_string",
     "network_to_string",
     "random_planar_network",
+    "read_dimacs",
     "read_network",
     "reference_astar_search",
     "reference_bidirectional_dijkstra",
@@ -52,7 +68,10 @@ __all__ = [
     "reference_shortest_path",
     "shortest_path",
     "shortest_path_cost",
+    "stream_cluster_network",
+    "stream_grid_network",
     "validate_path",
+    "write_dimacs",
     "write_network",
     "zero_heuristic",
 ]

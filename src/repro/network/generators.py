@@ -19,12 +19,15 @@ for the dataset registry in :mod:`repro.bench.datasets`).
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import GraphError
 from .graph import RoadNetwork
+
+#: One streaming node record: ``(node_id, x, y, [(neighbor, weight), ...])``.
+NodeRecord = Tuple[int, float, float, List[Tuple[int, float]]]
 
 
 class _UnionFind:
@@ -150,6 +153,136 @@ def random_planar_network(
         detour = rng.uniform(1.0, detour_max)
         weight = max(lengths[(a, b)] * detour, 1e-9)
         network.add_undirected_edge(a, b, weight)
+    return network
+
+
+def _mix64(value: int) -> int:
+    """SplitMix64 finalizer: a deterministic 64-bit integer mix."""
+    value = value & 0xFFFFFFFFFFFFFFFF
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return value ^ (value >> 31)
+
+
+def _unit_hash(seed: int, node_id: int, salt: int) -> float:
+    """Deterministic pseudo-random float in ``[-1, 1)`` from ``(seed, node, salt)``.
+
+    Unlike a sequential RNG, the value only depends on its arguments, so any
+    node's jitter is computable in O(1) — the property that lets the streaming
+    generators derive a neighbor's coordinates without materializing it.
+    """
+    mixed = _mix64(seed * 0x9E3779B97F4A7C15 + node_id * 0xD1342543DE82EF95 + salt)
+    return (mixed >> 11) / float(1 << 52) - 1.0
+
+
+def _grid_point(
+    row: int, col: int, cols: int, spacing: float, jitter: float, seed: int
+) -> Tuple[float, float]:
+    node_id = row * cols + col
+    x = col * spacing + _unit_hash(seed, node_id, 0) * jitter * spacing
+    y = row * spacing + _unit_hash(seed, node_id, 1) * jitter * spacing
+    return x, y
+
+
+def stream_grid_network(
+    rows: int,
+    cols: int,
+    spacing: float = 1.0,
+    jitter: float = 0.2,
+    seed: int = 0,
+) -> Iterator[NodeRecord]:
+    """Stream a rows x cols grid as :data:`NodeRecord` tuples, in node-id order.
+
+    The continental-scale counterpart of :func:`grid_network`: designed to be
+    piped straight into :func:`repro.storage.stream_node_database` so networks
+    of 10⁶+ nodes land on an out-of-core page store without ever materializing
+    a :class:`RoadNetwork`.  Memory use is O(1) per node — coordinates use the
+    stateless hash jitter of :func:`_unit_hash`, so each record derives its
+    neighbors' positions (and hence symmetric edge weights) locally.
+
+    Every undirected grid edge appears as two directed edges, one in each
+    endpoint's record; weights are the Euclidean length of the jittered edge.
+    """
+    if rows < 1 or cols < 1:
+        raise GraphError("grid dimensions must be positive")
+    for row in range(rows):
+        for col in range(cols):
+            node_id = row * cols + col
+            x, y = _grid_point(row, col, cols, spacing, jitter, seed)
+            neighbors: List[Tuple[int, float]] = []
+            for d_row, d_col in ((-1, 0), (0, -1), (0, 1), (1, 0)):
+                n_row, n_col = row + d_row, col + d_col
+                if not (0 <= n_row < rows and 0 <= n_col < cols):
+                    continue
+                nx, ny = _grid_point(n_row, n_col, cols, spacing, jitter, seed)
+                weight = max(math.hypot(nx - x, ny - y), 1e-9)
+                neighbors.append((n_row * cols + n_col, weight))
+            yield node_id, x, y, neighbors
+
+
+def stream_cluster_network(
+    num_clusters: int,
+    cluster_size: int,
+    spacing: float = 10.0,
+    radius: float = 2.0,
+    jitter: float = 0.15,
+    seed: int = 0,
+) -> Iterator[NodeRecord]:
+    """Stream a clustered network as :data:`NodeRecord` tuples.
+
+    Clusters sit on a near-square grid of centers ``spacing`` apart; each
+    cluster is a ring of ``cluster_size`` nodes at (jittered) ``radius`` from
+    its center, and cluster ``c``'s gateway node (local index 0) links to the
+    gateways of clusters ``c±1``, chaining the whole network together.  Like
+    :func:`stream_grid_network` this is O(1) memory per node and emits both
+    directions of every undirected edge, so it streams at any scale.
+    """
+    if num_clusters < 1 or cluster_size < 3:
+        raise GraphError("need at least 1 cluster of at least 3 nodes")
+    side = max(int(math.ceil(math.sqrt(num_clusters))), 1)
+
+    def point(node_id: int) -> Tuple[float, float]:
+        cluster, local = divmod(node_id, cluster_size)
+        center_x = (cluster % side) * spacing
+        center_y = (cluster // side) * spacing
+        r = radius * (1.0 + _unit_hash(seed, node_id, 0) * jitter)
+        theta = 2.0 * math.pi * local / cluster_size
+        return center_x + r * math.cos(theta), center_y + r * math.sin(theta)
+
+    total = num_clusters * cluster_size
+    for node_id in range(total):
+        cluster, local = divmod(node_id, cluster_size)
+        x, y = point(node_id)
+        targets: List[int] = [
+            cluster * cluster_size + (local - 1) % cluster_size,
+            cluster * cluster_size + (local + 1) % cluster_size,
+        ]
+        if local == 0:
+            if cluster > 0:
+                targets.append((cluster - 1) * cluster_size)
+            if cluster + 1 < num_clusters:
+                targets.append((cluster + 1) * cluster_size)
+        neighbors: List[Tuple[int, float]] = []
+        for target in sorted(set(targets) - {node_id}):
+            tx, ty = point(target)
+            neighbors.append((target, max(math.hypot(tx - x, ty - y), 1e-9)))
+        yield node_id, x, y, neighbors
+
+
+def network_from_records(records: Iterable[NodeRecord]) -> RoadNetwork:
+    """Materialize a stream of :data:`NodeRecord` tuples into a network.
+
+    Intended for test-scale streams (it holds the whole network in RAM); edges
+    are buffered until all nodes exist, then added directed exactly as the
+    records listed them.
+    """
+    network = RoadNetwork()
+    edges: List[Tuple[int, int, float]] = []
+    for node_id, x, y, neighbors in records:
+        network.add_node(node_id, x, y)
+        edges.extend((node_id, target, weight) for target, weight in neighbors)
+    for source, target, weight in edges:
+        network.add_edge(source, target, weight)
     return network
 
 

@@ -106,13 +106,22 @@ class UsablePirSimulator:
     ) -> List[bytes]:
         """Retrieve a batch of pages; equivalent to repeated :meth:`retrieve_page`.
 
-        The sharded simulator (:class:`~repro.pir.sharded.ShardedPirSimulator`)
+        The bytes come back in one batched page-store read
+        (:meth:`~repro.storage.pagefile.PageFile.read_pages_batch` — one
+        round trip for the SQLite backend), while validation, cost accounting
+        and trace recording run per page in request order, so traces and
+        simulated times are identical to repeated single retrievals.  The
+        sharded simulator (:class:`~repro.pir.sharded.ShardedPirSimulator`)
         overrides this to serve each shard's sub-batch independently.
         """
-        return [
-            self.retrieve_page(file_name, page_number, trace)
-            for page_number in page_numbers
-        ]
+        page_numbers = list(page_numbers)
+        page_file = self._validate_file(file_name)
+        for page_number in page_numbers:
+            self._validate_page(page_file, file_name, page_number)
+        results = page_file.read_pages_batch(page_numbers)
+        for page_number in page_numbers:
+            self._charge(page_file, file_name, page_number, trace)
+        return results
 
     # ------------------------------------------------------------------ #
     # hooks shared with the sharded simulator

@@ -231,18 +231,22 @@ class ShardedPir(PirProtocol):
 # engine-facing layer: sharding the simulated page store
 # ---------------------------------------------------------------------- #
 class ShardedPageStore:
-    """The immutable partitioned storage behind a sharded page simulator.
+    """The partitioned *view* behind a sharded page simulator.
 
-    Splits every page file of a database across ``num_shards`` slices by a
-    per-file :class:`ShardMap` (pages are copied out once, the way an actual
-    shard holds its partition on its own storage).  The store carries no
-    per-connection state, so one store is safely shared by every
+    Assigns every page of every page file to one of ``num_shards`` shards by
+    a per-file :class:`ShardMap` — pure index arithmetic over the database's
+    own page stores, holding **no page copies**: a shard read translates the
+    ``(shard, local page)`` coordinate back to the logical page number and
+    reads it from the backing :class:`~repro.storage.stores.PageStore`
+    (which may be in memory, mmap or SQLite).  Sharding therefore adds zero
+    resident page bytes regardless of shard count (asserted by the tests;
+    see :attr:`resident_page_bytes`).  The view carries no per-connection
+    state, so one store is safely shared by every
     :class:`ShardedPirSimulator` built over it — the query engine builds one
-    per engine and hands it to all worker contexts instead of re-copying the
-    database per context.
+    per engine and hands it to all worker contexts.
     """
 
-    __slots__ = ("num_shards", "strategy", "maps", "_shard_pages")
+    __slots__ = ("num_shards", "strategy", "maps", "_files")
 
     def __init__(
         self, database: Database, num_shards: int, strategy: str = "round-robin"
@@ -256,22 +260,17 @@ class ShardedPageStore:
         self.num_shards = num_shards
         self.strategy = strategy
         self.maps: Dict[str, ShardMap] = {}
-        self._shard_pages: List[Dict[str, List[bytes]]] = [
-            {} for _ in range(num_shards)
-        ]
+        self._files: Dict[str, object] = {}
         for file_name in database.file_names():
             page_file = database.file(file_name)
             if page_file.num_pages == 0:
                 continue
             # small files may have fewer pages than shards; they simply
             # occupy the first few shards
-            file_map = ShardMap(
+            self.maps[file_name] = ShardMap(
                 page_file.num_pages, min(num_shards, page_file.num_pages), strategy
             )
-            self.maps[file_name] = file_map
-            all_pages = [page_file.read_page(n) for n in range(page_file.num_pages)]
-            for shard_id, shard_pages in enumerate(file_map.split(all_pages)):
-                self._shard_pages[shard_id][file_name] = shard_pages
+            self._files[file_name] = page_file
 
     def locate(self, file_name: str, page_number: int) -> Tuple[int, int]:
         """``(shard, local page)`` owning a logical page."""
@@ -281,42 +280,87 @@ class ShardedPageStore:
             raise PirError(f"file {file_name!r} has no sharded pages") from None
         return file_map.locate(page_number)
 
-    def shard_pages(self, shard_id: int) -> Dict[str, List[bytes]]:
-        return self._shard_pages[shard_id]
+    def shard_num_pages(self, shard_id: int, file_name: str) -> int:
+        """Pages of ``file_name`` owned by shard ``shard_id``."""
+        file_map = self.maps.get(file_name)
+        if file_map is None or shard_id >= file_map.num_shards:
+            return 0
+        return file_map.shard_sizes()[shard_id]
+
+    def read_local(self, shard_id: int, file_name: str, local_page: int) -> bytes:
+        """The padded page image at a shard-local coordinate."""
+        file_map = self.maps.get(file_name)
+        if (
+            file_map is None
+            or shard_id >= file_map.num_shards
+            or local_page >= file_map.shard_sizes()[shard_id]
+            or local_page < 0
+        ):
+            raise PirError(
+                f"shard {shard_id} does not hold page {local_page} of "
+                f"file {file_name!r}"
+            )
+        page_number = file_map.global_index(shard_id, local_page)
+        return self._files[file_name].read_page(page_number)
+
+    def read_local_batch(
+        self, shard_id: int, file_name: str, local_pages: Sequence[int]
+    ) -> List[bytes]:
+        """Batched shard-local reads (one backing-store round trip)."""
+        file_map = self.maps.get(file_name)
+        if file_map is None:
+            raise PirError(f"file {file_name!r} has no sharded pages")
+        shard_size = file_map.shard_sizes()[shard_id] if shard_id < file_map.num_shards else 0
+        for local_page in local_pages:
+            if local_page < 0 or local_page >= shard_size:
+                raise PirError(
+                    f"shard {shard_id} does not hold page {local_page} of "
+                    f"file {file_name!r}"
+                )
+        page_numbers = [
+            file_map.global_index(shard_id, local_page) for local_page in local_pages
+        ]
+        return self._files[file_name].read_pages_batch(page_numbers)
+
+    @property
+    def resident_page_bytes(self) -> int:
+        """Page bytes this view holds beyond the backing stores — always 0.
+
+        The pre-refactor store copied every page into per-shard dicts,
+        doubling resident memory; the view keeps only shard maps and file
+        references, so sharding is free regardless of shard count.
+        """
+        return 0
 
 
 class PirShard:
     """One independent sub-database connection of a sharded page store.
 
-    References its shard's slice of the (shared, immutable) store and tracks
-    the serving statistics of this connection.  Worker contexts of the query
-    engine each hold their own connection objects, so per-worker shard load
-    can be inspected independently.
+    References the shared store view (no page copies) and tracks the serving
+    statistics of this connection.  Worker contexts of the query engine each
+    hold their own connection objects, so per-worker shard load can be
+    inspected independently.
     """
 
-    __slots__ = ("shard_id", "pages_served", "_pages")
+    __slots__ = ("shard_id", "pages_served", "_store")
 
-    def __init__(self, shard_id: int, pages: Optional[Dict[str, List[bytes]]] = None) -> None:
+    def __init__(self, shard_id: int, store: ShardedPageStore) -> None:
         self.shard_id = shard_id
         self.pages_served = 0
-        self._pages: Dict[str, List[bytes]] = pages if pages is not None else {}
-
-    def add_file(self, file_name: str, pages: List[bytes]) -> None:
-        self._pages[file_name] = pages
+        self._store = store
 
     def num_pages(self, file_name: str) -> int:
-        return len(self._pages.get(file_name, ()))
+        return self._store.shard_num_pages(self.shard_id, file_name)
 
     def read(self, file_name: str, local_page: int) -> bytes:
-        try:
-            page = self._pages[file_name][local_page]
-        except (KeyError, IndexError):
-            raise PirError(
-                f"shard {self.shard_id} does not hold page {local_page} of "
-                f"file {file_name!r}"
-            ) from None
+        page = self._store.read_local(self.shard_id, file_name, local_page)
         self.pages_served += 1
         return page
+
+    def read_many(self, file_name: str, local_pages: Sequence[int]) -> List[bytes]:
+        pages = self._store.read_local_batch(self.shard_id, file_name, local_pages)
+        self.pages_served += len(pages)
+        return pages
 
 
 class ShardedPirSimulator(UsablePirSimulator):
@@ -357,8 +401,7 @@ class ShardedPirSimulator(UsablePirSimulator):
         self.strategy = strategy
         #: This simulator's own connections to the shared store's shards.
         self.shards = [
-            PirShard(shard_id, store.shard_pages(shard_id))
-            for shard_id in range(num_shards)
+            PirShard(shard_id, store) for shard_id in range(num_shards)
         ]
 
     def shard_of_page(self, file_name: str, page_number: int) -> Tuple[int, int]:
@@ -408,9 +451,11 @@ class ShardedPirSimulator(UsablePirSimulator):
             by_shard.setdefault(shard, []).append((position, local))
         results: List[Optional[bytes]] = [None] * len(page_numbers)
         for shard, sub_batch in by_shard.items():
-            connection = self.shards[shard]
-            for position, local in sub_batch:
-                results[position] = connection.read(file_name, local)
+            answers = self.shards[shard].read_many(
+                file_name, [local for _, local in sub_batch]
+            )
+            for (position, _), answer in zip(sub_batch, answers):
+                results[position] = answer
         for page_number in page_numbers:
             self._charge(page_file, file_name, page_number, trace)
         return results

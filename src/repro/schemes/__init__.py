@@ -23,7 +23,13 @@ from .files import (
     read_lookup_entry,
 )
 from .hybrid import HybridScheme
-from .index_entries import IndexEntry, IndexFileBuilder, decode_index_entry
+from .index_entries import (
+    IndexEntry,
+    IndexFileBuilder,
+    decode_index_entry,
+    resolve_page_image,
+    resolved_entries_at,
+)
 from .landmark_scheme import LandmarkScheme, generate_plan_pairs
 from .obfuscation import ObfuscationResult, ObfuscationScheme
 from .pi import PassageIndexScheme
@@ -58,6 +64,8 @@ __all__ = [
     "generate_plan_pairs",
     "measure_cost_deviation",
     "read_lookup_entry",
+    "resolve_page_image",
+    "resolved_entries_at",
     "response_time_from_trace",
     "verify_plan_conformance",
 ]

@@ -247,6 +247,9 @@ class Scheme(abc.ABC):
     ) -> None:
         self.network = network
         self.database = database
+        # seal every builder's tail page so the database is fully on its
+        # page-store backend before the first query is served
+        database.flush()
         self.plan = plan
         self.spec = spec
         self.cost_model = CostModel(spec)

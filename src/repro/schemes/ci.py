@@ -93,12 +93,17 @@ class ConciseIndexScheme(Scheme):
         partitioning: Optional[Partitioning] = None,
         border_index: Optional[BorderNodeIndex] = None,
         products: Optional[BorderProducts] = None,
+        store_backend: Optional[str] = None,
+        store_dir=None,
     ) -> "ConciseIndexScheme":
         """Build the CI database for ``network``.
 
         ``packed``/``compress`` toggle the two optimisations of Sections 5.6
         and 5.5 (used by the CI-P and CI-C ablations).  Pre-computed
         artifacts can be passed in so that several schemes share them.
+        ``store_backend``/``store_dir`` choose the page-store backend the
+        database streams onto (memory/mmap/sqlite; see
+        :mod:`repro.storage.stores`).
         """
         page_size = spec.page_size
         capacity = page_size - _PAYLOAD_RESERVE
@@ -113,7 +118,7 @@ class ConciseIndexScheme(Scheme):
             )
         max_set_size = products.max_region_set_size()
 
-        database = Database(page_size)
+        database = Database(page_size, store_backend=store_backend, store_dir=store_dir)
         index_file = database.create_file(INDEX_FILE)
         builder = IndexFileBuilder(
             index_file, compress=compress, max_region_set_size=max_set_size

@@ -41,6 +41,8 @@ class ClusteredPassageIndexScheme(PassageIndexScheme):
         partitioning: Optional[Partitioning] = None,
         border_index: Optional[BorderNodeIndex] = None,
         products: Optional[BorderProducts] = None,
+        store_backend: Optional[str] = None,
+        store_dir=None,
     ) -> "ClusteredPassageIndexScheme":
         """Build PI* with ``cluster_pages`` region-data pages per region."""
         return super().build(
@@ -52,6 +54,8 @@ class ClusteredPassageIndexScheme(PassageIndexScheme):
             partitioning=partitioning,
             border_index=border_index,
             products=products,
+            store_backend=store_backend,
+            store_dir=store_dir,
         )
 
     @property

@@ -87,6 +87,8 @@ class HybridScheme(Scheme):
         border_index: Optional[BorderNodeIndex] = None,
         products: Optional[BorderProducts] = None,
         passage_subgraphs: Optional[Dict[RegionPair, Iterable[Tuple[int, int]]]] = None,
+        store_backend: Optional[str] = None,
+        store_dir=None,
     ) -> "HybridScheme":
         """Build HY; region sets larger than ``region_set_threshold`` are replaced.
 
@@ -146,7 +148,7 @@ class HybridScheme(Scheme):
 
         weights = {(edge.source, edge.target): edge.weight for edge in network.edges()}
 
-        database = Database(page_size)
+        database = Database(page_size, store_backend=store_backend, store_dir=store_dir)
         combined = database.create_file(COMBINED_FILE)
         builder = IndexFileBuilder(
             combined, compress=compress, max_region_set_size=max(kept_max, 1)

@@ -390,6 +390,29 @@ def _resolve_page(entries: List[_RawDecodedEntry]) -> List[IndexEntry]:
     return resolved
 
 
+def resolve_page_image(page_bytes: bytes) -> List[IndexEntry]:
+    """Pure resolver: decode and delta-resolve one index page image.
+
+    This is the resolver the storage layer memoises per page number
+    (:meth:`~repro.storage.stores.PageStore.resolve`), so the resolved entry
+    list lives *with the bytes* in the page store instead of in a byte-keyed
+    client cache — the client-side path below still uses the per-worker
+    decode cache, because PIR-fetched bytes carry no page identity.
+    """
+    return _resolve_page(_decode_page_entries(bytes(page_bytes)))
+
+
+def resolved_entries_at(page_file: PageFile, page_number: int) -> List[IndexEntry]:
+    """Store-memoised resolution of one index page, by page number.
+
+    Server-side consumers (builders, inspection tools, the out-of-core
+    example) resolve through the page store's own cache; repeated resolution
+    of a page neither re-reads nor re-decodes it, on any backend.  Entries
+    are frozen dataclasses and safe to share.
+    """
+    return page_file.resolve_page(page_number, resolve_page_image)
+
+
 def resolved_page_entries(page_bytes: bytes) -> List[IndexEntry]:
     """All (delta-resolved) entries of one index page.
 
@@ -401,10 +424,10 @@ def resolved_page_entries(page_bytes: bytes) -> List[IndexEntry]:
 
     cache = current_decode_cache()
     if cache is None:
-        return _resolve_page(_decode_page_entries(page_bytes))
+        return resolve_page_image(page_bytes)
     resolved = cache.get(("ipage", page_bytes))
     if resolved is None:
-        resolved = _resolve_page(_decode_page_entries(page_bytes))
+        resolved = resolve_page_image(page_bytes)
         cache.put(("ipage", page_bytes), resolved)
     return resolved
 

@@ -80,6 +80,8 @@ class PassageIndexScheme(Scheme):
         partitioning: Optional[Partitioning] = None,
         border_index: Optional[BorderNodeIndex] = None,
         products: Optional[BorderProducts] = None,
+        store_backend: Optional[str] = None,
+        store_dir=None,
     ) -> "PassageIndexScheme":
         """Build the PI database (see :meth:`ConciseIndexScheme.build` for the knobs).
 
@@ -109,7 +111,7 @@ class PassageIndexScheme(Scheme):
             (edge.source, edge.target): edge.weight for edge in network.edges()
         }
 
-        database = Database(page_size)
+        database = Database(page_size, store_backend=store_backend, store_dir=store_dir)
         index_file = database.create_file(INDEX_FILE)
         builder = IndexFileBuilder(index_file, compress=compress)
         num_regions = partitioning.num_regions

@@ -193,3 +193,18 @@ class TestShardedPirSimulator:
             sharded.retrieve_page("data", num_pages)
         with pytest.raises(PirError):
             sharded.retrieve_pages("data", [0, num_pages])
+
+    def test_sharded_store_holds_no_page_copies(self, ci_database):
+        # regression: ShardedPageStore used to materialize every shard's
+        # pages into per-shard lists, duplicating the whole database in RAM;
+        # it is now a pure index view over the backing page stores
+        from repro.pir import ShardedPageStore
+
+        database, _ = ci_database
+        store = ShardedPageStore(database, num_shards=4)
+        assert store.resident_page_bytes == 0
+        # and it still serves real bytes, straight from the backing store
+        page_file = database.file("data")
+        local = store.locate("data", 0)[1]
+        shard_of_page_zero = store.locate("data", 0)[0]
+        assert store.read_local(shard_of_page_zero, "data", local) == page_file.read_page(0)

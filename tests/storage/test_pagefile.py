@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.exceptions import StorageError
-from repro.storage import Page, PageFile
+from repro.exceptions import PageOverflowError, StorageError
+from repro.storage import MemoryPageStore, Page, PageFile
 
 
 class TestPageFile:
@@ -37,6 +37,29 @@ class TestPageFile:
         page_file = PageFile("data", page_size=4)
         with pytest.raises(StorageError):
             page_file.append_record_packed(b"12345")
+
+    def test_oversized_record_raises_page_overflow_with_context(self):
+        # regression: used to surface as a bare StorageError without saying
+        # which file rejected the record or what the page size was
+        page_file = PageFile("region-data", page_size=64)
+        with pytest.raises(PageOverflowError) as excinfo:
+            page_file.append_record_packed(b"x" * 65)
+        message = str(excinfo.value)
+        assert "region-data" in message
+        assert "64" in message
+        # PageOverflowError remains a StorageError, so old handlers still work
+        assert isinstance(excinfo.value, StorageError)
+
+    def test_append_record_reopens_sealed_tail(self):
+        # a sealed last page is transparently re-opened when a record fits
+        store = MemoryPageStore(page_size=10)
+        page_file = PageFile("data", page_size=10, store=store)
+        page_file.append_record_packed(b"12345")
+        page_file.flush()  # seals the tail onto the store
+        assert page_file.append_record_packed(b"6789") == 0
+        page_file.flush()
+        assert store.num_pages == 1
+        assert page_file.read_page(0).startswith(b"123456789")
 
     def test_read_page_and_bounds(self):
         page_file = PageFile("data", page_size=16)
