@@ -36,7 +36,8 @@ from repro.network import (
     shortest_path,
     dijkstra_tree,
 )
-from repro.pir import ShardedPir, TwoServerXorPir
+from repro.pir import ShardedPir, TwoServerXorPir, make_kernel, numpy_available
+from repro.pir.batch import random_subset_masks
 from repro.schemes import ConciseIndexScheme, PassageIndexScheme
 
 
@@ -313,8 +314,11 @@ def run_sharded_pir_microbench(num_nodes=1000, num_queries=80, num_shards=4, see
     # slice keeps the benchmark fast while preserving the hotspot shape
     stream = stream[:256]
 
-    unsharded = TwoServerXorPir(blocks)
-    sharded = ShardedPir(blocks, num_shards)
+    # pinned to the big-int kernel on both sides: this benchmark measures the
+    # sharding topology (per-retrieval work linear in the owning database),
+    # not the server kernel — the packed-kernel gain has its own benchmark
+    unsharded = TwoServerXorPir(blocks, kernel="bigint")
+    sharded = ShardedPir(blocks, num_shards, kernel="bigint")
 
     unsharded_s, unsharded_blocks = _time(lambda: unsharded.retrieve_many(stream))
     sharded_s, sharded_blocks = _time(lambda: sharded.retrieve_many(stream))
@@ -335,6 +339,65 @@ def run_sharded_pir_microbench(num_nodes=1000, num_queries=80, num_shards=4, see
         "retrievals_per_s_sharded": len(stream) / sharded_s,
         "retrievals_per_s_unsharded": len(stream) / unsharded_s,
     }
+
+
+def run_xor_kernel_microbench(
+    num_blocks=600, block_bytes=256, batch_sizes=(1, 8, 32, 128, 256), seed=19
+):
+    """Server-side mask answering: packed numpy kernel vs. the big-int fold.
+
+    Draws the random subset-mask stream a two-server client would send over a
+    database of ``num_blocks`` blocks and times the pure server hot path —
+    ``answer_many`` over a batch of masks — for the big-int reference kernel
+    and the packed bit-matrix kernel at every batch size of the curve.  The
+    curve spans both packed strategies (the fancy-index table gather below
+    ``GROUP_LOOP_MIN_BATCH``, the per-group accumulate loop above it); the
+    headline speedup is read at the largest batch, the regime batched engine
+    serving actually runs in.  Answers are asserted bit-identical per batch.
+
+    Without numpy only the big-int side runs and the result records
+    ``kernel == "bigint"`` with no speedup (the perf gate skips its floor).
+    """
+    rng = random.Random(seed)
+    blocks = [
+        bytes(rng.randrange(256) for _ in range(block_bytes)) for _ in range(num_blocks)
+    ]
+    masks = random_subset_masks(random.Random(seed), num_blocks, max(batch_sizes))
+
+    bigint = make_kernel(blocks, kernel="bigint")
+    packed = make_kernel(blocks, kernel="numpy") if numpy_available() else None
+
+    curve = []
+    for batch in batch_sizes:
+        sample = masks[:batch]
+        bigint_s, bigint_answers = _time(lambda: bigint.answer_many(sample))
+        point = {
+            "batch": batch,
+            "bigint_s": bigint_s,
+            "bigint_retrievals_per_s": batch / bigint_s,
+        }
+        if packed is not None:
+            numpy_s, numpy_answers = _time(lambda: packed.answer_many(sample))
+            assert numpy_answers == bigint_answers, \
+                "packed kernel disagrees with the big-int oracle"
+            point.update(
+                numpy_s=numpy_s,
+                numpy_retrievals_per_s=batch / numpy_s,
+                speedup=bigint_s / numpy_s,
+            )
+        curve.append(point)
+
+    result = {
+        "blocks": num_blocks,
+        "block_bytes": block_bytes,
+        "kernel": "numpy" if packed is not None else "bigint",
+        "curve": curve,
+    }
+    head = curve[-1]
+    result["reference_s"] = head["bigint_s"]
+    result["fast_s"] = head.get("numpy_s", head["bigint_s"])
+    result["speedup"] = head.get("speedup", 1.0)
+    return result
 
 
 def run_store_backend_microbench(num_pages=1024, page_bytes=1024, reads=2048, seed=17):
@@ -406,6 +469,7 @@ def _run_all():
     results = {"dijkstra": dijkstra, "xor_pir": pir}
     results.update({f"batch_{name}": result for name, result in schemes.items()})
     results["sharded_pir"] = sharded
+    results["xor_kernel"] = run_xor_kernel_microbench()
     results.update(run_store_backend_microbench())
     return results
 
@@ -414,16 +478,14 @@ def test_fastpath_microbench(record_result):
     results = _run_all()
     text = "\n".join(_format(name, result) for name, result in results.items()) + "\n"
     record_result("micro_fastpath", text, data=results)
-    # the acceptance bar is 3x for the substrate and 2x for the end-to-end
-    # scheme queries; the typically observed speedups sit well above both, so
-    # the checks stay robust on slow/loaded machines
-    assert results["dijkstra"]["speedup"] >= 3.0, f"dijkstra fast path too slow: {results}"
-    assert results["xor_pir"]["speedup"] >= 3.0, f"batched PIR too slow: {results}"
-    assert results["batch_CI"]["speedup"] >= 2.0, f"CI query pipeline too slow: {results}"
-    assert results["batch_PI"]["speedup"] >= 2.0, f"PI query pipeline too slow: {results}"
-    # sharding the PIR database across 4 sub-databases must lift end-to-end
-    # batch serving throughput by at least 1.5x (typically close to 4x)
-    assert results["sharded_pir"]["speedup"] >= 1.5, f"sharded PIR too slow: {results}"
+    # every floored metric (substrate, end-to-end pipelines, sharding, the
+    # packed server kernel) is checked through the shared per-metric registry;
+    # floors sit well below typically observed speedups, so the gate stays
+    # robust on slow/loaded machines — see benchmarks/perf_gate.py
+    from perf_gate import check_floors
+
+    violations = check_floors({"micro_fastpath": results})
+    assert not violations, "; ".join(violations)
 
 
 if __name__ == "__main__":

@@ -35,6 +35,20 @@ def test_fig7_smoke_under_time_cap():
     )
 
 
+def test_committed_baselines_meet_metric_floors():
+    """The checked-in ``results/*.json`` baselines pass the per-metric gate.
+
+    This trips when a PR commits regressed benchmark numbers (or drops a
+    gated metric from a result file) even if the benchmark suite itself was
+    not rerun in CI — the failure message names the specific metric.
+    """
+    from perf_gate import gate_committed_results
+
+    violations = gate_committed_results()
+    assert not violations, "; ".join(violations)
+
+
 if __name__ == "__main__":
     test_fig7_smoke_under_time_cap()
+    test_committed_baselines_meet_metric_floors()
     print("smoke ok")

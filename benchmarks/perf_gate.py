@@ -1,0 +1,129 @@
+"""Per-metric performance regression gate over the committed benchmark results.
+
+``METRIC_FLOORS`` is the single registry of speedup floors the repository
+promises; :func:`check_floors` evaluates a result set against it and returns
+one violation string per failed metric — naming the benchmark, the metric
+path and both the measured value and its floor, so CI output says *which*
+metric regressed rather than just that something did.
+
+Two call sites use the registry:
+
+* ``bench_micro_fastpath.py`` gates the fresh numbers it just measured;
+* ``bench_smoke.py`` (and the CI workflow, via ``python benchmarks/
+  perf_gate.py``) re-checks the *committed* ``benchmarks/results/*.json``
+  baselines — a PR that commits regressed baselines fails even when the
+  benchmark suite itself was not rerun.
+
+Floors are deliberately far below typically observed values so the gate only
+trips on real regressions, not machine noise.  Conditional floors (the packed
+XOR kernel exists only where numpy does) are expressed with ``when``: a
+(path, value) equality guard on the same benchmark's data.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+class MetricFloor:
+    """A lower bound on one dotted metric path of one benchmark's data."""
+
+    def __init__(self, path: str, floor: float, when: Optional[Tuple[str, object]] = None):
+        self.path = path
+        self.floor = floor
+        #: Optional (path, value) guard: the floor applies only when the
+        #: benchmark's data carries that value (e.g. the numpy kernel ran).
+        self.when = when
+
+
+#: benchmark name (== results/<name>.json) -> floors over its ``data``.
+METRIC_FLOORS: Dict[str, List[MetricFloor]] = {
+    "micro_fastpath": [
+        MetricFloor("dijkstra.speedup", 3.0),
+        MetricFloor("xor_pir.speedup", 3.0),
+        MetricFloor("batch_CI.speedup", 2.0),
+        MetricFloor("batch_PI.speedup", 2.0),
+        MetricFloor("sharded_pir.speedup", 1.5),
+        # the vectorized server kernel: >=10x over the big-int fold at the
+        # largest batch of the curve, wherever numpy exists to build it
+        MetricFloor("xor_kernel.speedup", 10.0, when=("xor_kernel.kernel", "numpy")),
+    ],
+}
+
+
+def _lookup(data, path: str):
+    """Resolve a dotted path into nested dicts; None when any hop is absent."""
+    node = data
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def check_floors(results: Dict[str, dict], only: Optional[str] = None) -> List[str]:
+    """Violation messages for every floored metric ``results`` fails.
+
+    ``results`` maps benchmark names to their ``data`` payloads.  Benchmarks
+    without registered floors pass untouched; a *registered* benchmark whose
+    metric is missing is itself a violation (a silently dropped metric must
+    not pass the gate).  ``only`` restricts the check to metric paths with
+    that prefix — for call sites that measured a single benchmark function
+    rather than a full result set.
+    """
+    violations = []
+    for benchmark, floors in METRIC_FLOORS.items():
+        data = results.get(benchmark)
+        if data is None:
+            continue  # the baseline set need not contain every benchmark
+        for metric in floors:
+            if only is not None and not metric.path.startswith(only):
+                continue
+            if metric.when is not None:
+                guard_path, guard_value = metric.when
+                if _lookup(data, guard_path) != guard_value:
+                    continue
+            value = _lookup(data, metric.path)
+            if value is None:
+                violations.append(
+                    f"{benchmark}: metric {metric.path!r} is missing "
+                    f"(floor {metric.floor:g})"
+                )
+            elif float(value) < metric.floor:
+                violations.append(
+                    f"{benchmark}: {metric.path} = {float(value):.2f} is below "
+                    f"its floor of {metric.floor:g}"
+                )
+    return violations
+
+
+def load_committed_results(results_dir: Path = RESULTS_DIR) -> Dict[str, dict]:
+    """The ``data`` payloads of every committed ``results/*.json`` envelope."""
+    results = {}
+    for path in sorted(results_dir.glob("*.json")):
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        results[envelope.get("benchmark", path.stem)] = envelope.get("data", {})
+    return results
+
+
+def gate_committed_results(results_dir: Path = RESULTS_DIR) -> List[str]:
+    """Check the committed baselines; returns the violations (empty = pass)."""
+    results = load_committed_results(results_dir)
+    if not results:
+        return [f"no committed benchmark baselines found under {results_dir}"]
+    return check_floors(results)
+
+
+if __name__ == "__main__":
+    import sys
+
+    problems = gate_committed_results()
+    for problem in problems:
+        print(f"PERF GATE: {problem}")
+    if problems:
+        sys.exit(1)
+    print(f"perf gate ok: committed baselines meet every registered floor")

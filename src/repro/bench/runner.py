@@ -79,6 +79,7 @@ def run_workload(
     shards: int = 1,
     store_backend: Optional[str] = None,
     store_dir=None,
+    pir_kernel: Optional[str] = None,
 ) -> WorkloadSummary:
     """Execute every query of the workload and aggregate the paper's metrics.
 
@@ -96,7 +97,10 @@ def run_workload(
     ``engine`` is supplied, as are ``shards`` and ``store_backend``).
     ``store_backend``/``store_dir`` re-home the scheme's database onto the
     named page-store backend (memory/mmap/sqlite) and serve the workload's
-    PIR reads from it.
+    PIR reads from it.  ``pir_kernel`` serves every PIR read through a real
+    two-server XOR retrieval over the named packed server kernel
+    ("auto"/"numpy"/"bigint"; results stay bit-identical — see
+    :mod:`repro.pir.kernels`).
     """
     if not pairs:
         raise SchemeError("cannot run an empty workload")
@@ -107,6 +111,7 @@ def run_workload(
             shards=shards,
             store_backend=store_backend,
             store_dir=store_dir,
+            pir_kernel=pir_kernel,
         )
     batch = engine.run_batch(
         pairs,

@@ -159,6 +159,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "connections (results are identical for any shard count)",
     )
     batch.add_argument(
+        "--pir-kernel",
+        choices=("off", "auto", "numpy", "bigint"),
+        default="off",
+        help="serve every PIR read through a real two-server XOR retrieval "
+        "over the named packed server kernel (auto picks numpy when "
+        "available); off (default) reads pages directly — results are "
+        "identical either way",
+    )
+    batch.add_argument(
         "--no-pipeline",
         action="store_true",
         help="disable overlapping PIR retrieval with client-side decode/search",
@@ -313,7 +322,12 @@ def _command_batch(args: argparse.Namespace) -> int:
         return 2
     scheme = _build_scheme(args)
     pairs = generate_workload(scheme.network, count=args.queries, seed=args.seed)
-    engine = QueryEngine(scheme, cache_entries=args.cache_entries, shards=args.shards)
+    engine = QueryEngine(
+        scheme,
+        cache_entries=args.cache_entries,
+        shards=args.shards,
+        pir_kernel=args.pir_kernel,
+    )
     batch = engine.run_batch(
         pairs,
         verify_costs=not args.no_verify,
@@ -330,6 +344,8 @@ def _command_batch(args: argparse.Namespace) -> int:
         print(f"pir shards      : {batch.shards}")
     if batch.store_backend != "memory":
         print(f"page store      : {batch.store_backend}")
+    if batch.pir_kernel is not None:
+        print(f"xor kernel      : {batch.pir_kernel}")
     print(f"wall time       : {batch.wall_seconds:.3f} s "
           f"({batch.queries_per_second:.1f} queries/s)")
     print(f"mean response   : {batch.mean_response_s:.2f} s (simulated)")

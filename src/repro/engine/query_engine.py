@@ -61,6 +61,7 @@ from ..pir import (
     ShardedPageStore,
     ShardedPirSimulator,
     UsablePirSimulator,
+    resolve_kernel,
 )
 from ..schemes import files as scheme_files
 from ..schemes.base import PreparedQuery, QueryResult, Scheme, client_state_scope
@@ -104,6 +105,9 @@ class BatchResult:
     shards: int = 1
     #: Page-store backend the engine served the batch from.
     store_backend: str = "memory"
+    #: XOR server kernel the PIR reads were served through ("numpy" or
+    #: "bigint"), or None when the engine read pages directly.
+    pir_kernel: Optional[str] = None
 
     @property
     def num_queries(self) -> int:
@@ -149,7 +153,13 @@ class QueryEngine:
     ``store_backend``/``store_dir`` re-home the scheme's database onto
     another page-store backend (memory/mmap/sqlite; pages stream across, the
     database is never materialised in RAM) and serve every PIR read from it.
-    None of these knobs changes query results, traces or adversary views.
+    ``pir_kernel`` additionally serves every PIR read through a real
+    two-server XOR retrieval over a packed server kernel
+    (``"auto"``/``"numpy"``/``"bigint"`` — see :mod:`repro.pir.kernels`);
+    the default ``None``/``"off"`` keeps direct page reads, since packing is
+    only worth paying for when the server-side XOR work is the thing being
+    exercised.  None of these knobs changes query results, traces or
+    adversary views (property-tested for every kernel).
     """
 
     def __init__(
@@ -160,6 +170,7 @@ class QueryEngine:
         shard_strategy: str = "round-robin",
         store_backend: Optional[str] = None,
         store_dir=None,
+        pir_kernel: Optional[str] = None,
     ) -> None:
         if cache_entries < 0:
             raise SchemeError(
@@ -177,6 +188,10 @@ class QueryEngine:
         else:
             self.database = scheme.database
         self.store_backend = self.database.store_backend
+        #: Resolved XOR serving kernel (None = direct page reads).
+        self.pir_kernel: Optional[str] = (
+            None if pir_kernel in (None, "off") else resolve_kernel(pir_kernel)
+        )
         #: The shared plan every query of every batch runs under.
         self.plan = scheme.plan
         self.cache_entries = cache_entries
@@ -196,7 +211,9 @@ class QueryEngine:
         #: un-re-homed).
         first_pir = (
             scheme.pir
-            if shards == 1 and self.database is scheme.database
+            if shards == 1
+            and self.database is scheme.database
+            and self.pir_kernel is None
             else self._new_pir()
         )
         self._contexts: List[_WorkerContext] = [
@@ -206,8 +223,9 @@ class QueryEngine:
     def execute(self, source: NodeId, target: NodeId) -> QueryResult:
         """Answer a single query through the engine's page cache."""
         with scheme_files.decode_cache_scope(self.page_cache):
-            if self.database is not self.scheme.database:
-                # serve the query from the re-homed database via context 0
+            if self._contexts[0].pir is not self.scheme.pir:
+                # serve the query through the engine's own simulator (re-homed
+                # database, shards, or XOR-kernel serving) via context 0
                 with client_state_scope(
                     self._contexts[0].pir, self.scheme._dummy_rng
                 ):
@@ -260,6 +278,7 @@ class QueryEngine:
                 worker_mode=worker_mode,
                 shards=self.shards,
                 store_backend=self.store_backend,
+                pir_kernel=self.pir_kernel,
             )
         workers = min(workers, len(pairs))
         contexts = self._contexts_for(workers)
@@ -314,6 +333,7 @@ class QueryEngine:
             worker_mode=worker_mode,
             shards=self.shards,
             store_backend=self.store_backend,
+            pir_kernel=self.pir_kernel,
         )
 
     # ------------------------------------------------------------------ #
@@ -338,12 +358,14 @@ class QueryEngine:
                 num_shards=self.shards,
                 strategy=self.shard_strategy,
                 store=self._shard_store,
+                xor_kernel=self.pir_kernel,
             )
         return UsablePirSimulator(
             self.database,
             scp=SecureCoprocessor(scheme.spec),
             spec=scheme.spec,
             enforce_limits=scheme.pir.enforce_limits,
+            xor_kernel=self.pir_kernel,
         )
 
     def _run_shard(

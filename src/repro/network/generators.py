@@ -14,17 +14,61 @@ same structural characteristics that the schemes depend on:
 Two generator families are provided: a perturbed grid (simple, fully
 deterministic shape) and a Delaunay-based random planar network (the default
 for the dataset registry in :mod:`repro.bench.datasets`).
+
+numpy and scipy are optional: with numpy installed the generators draw from
+``numpy.random.default_rng`` exactly as before (byte-identical networks for a
+given seed), and with scipy installed candidate edges come from the true
+Delaunay triangulation.  Without them a pure-Python RNG stands in and
+candidate edges come from a bucketed k-nearest-neighbor graph
+(:func:`_knn_candidate_edges`) patched to connectivity — structurally
+equivalent (planar-like, local, sparse), not bit-identical.
 """
 
 from __future__ import annotations
 
 import math
+import random as _random
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
-import numpy as np
+try:  # numpy is optional; the pure-Python RNG below stands in without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
 
 from ..exceptions import GraphError
 from .graph import RoadNetwork
+
+
+class _PurePythonRng:
+    """Just enough of the ``numpy.random.Generator`` surface for this module."""
+
+    def __init__(self, seed: int) -> None:
+        self._rng = _random.Random(seed)
+
+    def uniform(self, low: float, high: float, size=None):
+        if size is None:
+            return self._rng.uniform(low, high)
+        if isinstance(size, tuple):
+            count, width = size
+            return [
+                tuple(self._rng.uniform(low, high) for _ in range(width))
+                for _ in range(count)
+            ]
+        return [self._rng.uniform(low, high) for _ in range(size)]
+
+    def shuffle(self, items) -> None:
+        self._rng.shuffle(items)
+
+    def integers(self, low: int, high: int) -> int:
+        return self._rng.randrange(low, high)
+
+
+def _default_rng(seed: int):
+    """The numpy generator when numpy is present (identical output to the
+    historical hard dependency), a pure-Python stand-in otherwise."""
+    if _np is not None:
+        return _np.random.default_rng(seed)
+    return _PurePythonRng(seed)
 
 #: One streaming node record: ``(node_id, x, y, [(neighbor, weight), ...])``.
 NodeRecord = Tuple[int, float, float, List[Tuple[int, float]]]
@@ -67,7 +111,7 @@ def grid_network(
     """
     if rows < 1 or cols < 1:
         raise GraphError("grid dimensions must be positive")
-    rng = np.random.default_rng(seed)
+    rng = _default_rng(seed)
     network = RoadNetwork()
     for row in range(rows):
         for col in range(cols):
@@ -115,12 +159,12 @@ def random_planar_network(
         raise GraphError("random planar network needs at least 3 nodes")
     if edge_factor < 1.0:
         raise GraphError("edge_factor below 1.0 cannot keep the network connected")
-    rng = np.random.default_rng(seed)
+    rng = _default_rng(seed)
     points = rng.uniform(0.0, extent, size=(num_nodes, 2))
 
     candidates = _delaunay_edges(points)
     lengths = {
-        (a, b): math.hypot(points[a, 0] - points[b, 0], points[a, 1] - points[b, 1])
+        (a, b): math.hypot(points[a][0] - points[b][0], points[a][1] - points[b][1])
         for a, b in candidates
     }
 
@@ -148,7 +192,7 @@ def random_planar_network(
 
     network = RoadNetwork()
     for node_id in range(num_nodes):
-        network.add_node(node_id, float(points[node_id, 0]), float(points[node_id, 1]))
+        network.add_node(node_id, float(points[node_id][0]), float(points[node_id][1]))
     for a, b in chosen:
         detour = rng.uniform(1.0, detour_max)
         weight = max(lengths[(a, b)] * detour, 1e-9)
@@ -286,9 +330,19 @@ def network_from_records(records: Iterable[NodeRecord]) -> RoadNetwork:
     return network
 
 
-def _delaunay_edges(points: np.ndarray) -> List[Tuple[int, int]]:
-    """Undirected edge list of the Delaunay triangulation of ``points``."""
-    from scipy.spatial import Delaunay  # imported lazily; scipy is a hard dependency
+def _delaunay_edges(points) -> List[Tuple[int, int]]:
+    """Undirected candidate edge list over ``points``.
+
+    With scipy this is the Delaunay triangulation (the historical behaviour,
+    bit-for-bit).  Without it, :func:`_knn_candidate_edges` supplies a
+    bucketed nearest-neighbor graph with the same structural properties —
+    local, sparse, connected — so the planar generator (and with it the
+    tier-1 test suite) works on a pure-Python install.
+    """
+    try:
+        from scipy.spatial import Delaunay  # imported lazily; scipy is optional
+    except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+        return _knn_candidate_edges(points)
 
     triangulation = Delaunay(points)
     edges = set()
@@ -299,11 +353,89 @@ def _delaunay_edges(points: np.ndarray) -> List[Tuple[int, int]]:
     return sorted(edges)
 
 
+def _knn_candidate_edges(points, neighbors_per_node: int = 8) -> List[Tuple[int, int]]:
+    """Scipy-free candidate edges: bucketed k-nearest neighbors, made connected.
+
+    Points are hashed into a ``sqrt(N) x sqrt(N)`` grid of spatial buckets;
+    each point connects to its ``neighbors_per_node`` nearest points found by
+    expanding rings of buckets, which keeps the search local (amortized O(k)
+    per node) and the resulting graph planar-like.  k-NN graphs can come out
+    disconnected, which the spanning-tree stage downstream would reject, so
+    isolated components are patched in by repeatedly joining the smallest
+    component to its nearest outside point.
+    """
+    count = len(points)
+    xs = [float(point[0]) for point in points]
+    ys = [float(point[1]) for point in points]
+    side = max(1, int(math.sqrt(count)))
+    min_x, min_y = min(xs), min(ys)
+    span_x = (max(xs) - min_x) or 1.0
+    span_y = (max(ys) - min_y) or 1.0
+
+    def bucket_of(index: int) -> Tuple[int, int]:
+        return (
+            min(side - 1, int((xs[index] - min_x) / span_x * side)),
+            min(side - 1, int((ys[index] - min_y) / span_y * side)),
+        )
+
+    buckets: dict = {}
+    for index in range(count):
+        buckets.setdefault(bucket_of(index), []).append(index)
+
+    edges = set()
+    for index in range(count):
+        bucket_x, bucket_y = bucket_of(index)
+        ring = 1
+        while True:
+            nearby = [
+                other
+                for dx in range(-ring, ring + 1)
+                for dy in range(-ring, ring + 1)
+                for other in buckets.get((bucket_x + dx, bucket_y + dy), [])
+                if other != index
+            ]
+            if len(nearby) >= neighbors_per_node or ring > side:
+                break
+            ring += 1
+        nearby.sort(
+            key=lambda other: (xs[index] - xs[other]) ** 2
+            + (ys[index] - ys[other]) ** 2
+        )
+        for other in nearby[:neighbors_per_node]:
+            edges.add((min(index, other), max(index, other)))
+
+    # patch k-NN disconnection: join the smallest component to its nearest
+    # outside point until one component remains
+    union_find = _UnionFind(count)
+    for a, b in edges:
+        union_find.union(a, b)
+    while True:
+        components: dict = {}
+        for index in range(count):
+            components.setdefault(union_find.find(index), []).append(index)
+        if len(components) <= 1:
+            break
+        _, members = min(components.items(), key=lambda item: len(item[1]))
+        member_roots = {union_find.find(members[0])}
+        best = None
+        for inside in members:
+            for outside in range(count):
+                if union_find.find(outside) in member_roots:
+                    continue
+                gap = (xs[inside] - xs[outside]) ** 2 + (ys[inside] - ys[outside]) ** 2
+                if best is None or gap < best[0]:
+                    best = (gap, inside, outside)
+        _, inside, outside = best
+        edges.add((min(inside, outside), max(inside, outside)))
+        union_find.union(inside, outside)
+    return sorted(edges)
+
+
 def _drop_edges_keeping_connectivity(
     undirected: Sequence[Tuple[int, int]],
     num_nodes: int,
     drop_fraction: float,
-    rng: np.random.Generator,
+    rng,
 ) -> List[Tuple[int, int]]:
     """Remove up to ``drop_fraction`` of the edges without disconnecting the graph."""
     if drop_fraction <= 0:

@@ -20,13 +20,13 @@ from typing import List, Optional, Sequence
 from ..exceptions import PirError
 
 
-def mask_indices(mask: int, num_blocks: Optional[int] = None) -> List[int]:
-    """The sorted block indices named by a subset bitmask.
+def validate_subset_mask(mask: int, num_blocks: Optional[int] = None) -> int:
+    """Validate a subset bitmask against the database size and return it.
 
-    When ``num_blocks`` is given, the mask is validated against the database
-    size: a malformed or corrupted mask naming a block ``>= num_blocks`` would
-    otherwise index past the database (or silently misdecode the answer), so
-    servers pass their block count here and surface :class:`PirError` instead.
+    Shared by the big-int and the packed numpy server kernels so both raise
+    the identical :class:`PirError` for malformed masks: a corrupted mask
+    naming a block ``>= num_blocks`` would otherwise index past the database
+    or silently misdecode the answer.
     """
     if mask < 0:
         raise PirError("subset masks must be non-negative")
@@ -35,6 +35,17 @@ def mask_indices(mask: int, num_blocks: Optional[int] = None) -> List[int]:
             f"subset mask names block index {mask.bit_length() - 1}, but the "
             f"database has only {num_blocks} blocks"
         )
+    return mask
+
+
+def mask_indices(mask: int, num_blocks: Optional[int] = None) -> List[int]:
+    """The sorted block indices named by a subset bitmask.
+
+    When ``num_blocks`` is given, the mask is validated against the database
+    size via :func:`validate_subset_mask` and surfaces :class:`PirError` for
+    malformed masks.
+    """
+    validate_subset_mask(mask, num_blocks)
     indices: List[int] = []
     remaining = mask
     while remaining:

@@ -1,0 +1,482 @@
+"""Vectorized XOR-PIR server kernels: packed bit-matrix subset answering.
+
+The two-server XOR protocol spends essentially all of its server CPU folding
+blocks together: every answered subset mask XORs about half the database.
+The historical implementation folds Python big integers one block at a time,
+so a batch of ``B`` masks over ``N`` blocks costs ``B * N/2`` interpreter
+iterations.  This module replaces that loop with a packed kernel:
+
+* :class:`PackedDatabase` packs the block database into one C-contiguous
+  ``(num_blocks, words)`` ``numpy.uint64`` array and pre-computes *group
+  tables* — for every group of ``g`` consecutive blocks, the XOR of each of
+  the ``2**g`` block combinations.  A batch of masks then becomes two
+  vectorized array operations: a fancy-indexed gather of one table row per
+  (mask, group) followed by one ``bitwise_xor.reduce`` over the group axis.
+  No Python loop runs per mask or per block, and a mask over ``N`` blocks
+  touches ``N/g`` table rows instead of ``N/2`` blocks.  When the table
+  budget (:attr:`PackedDatabase.MAX_TABLE_BYTES`) does not cover the
+  database, the kernel degrades to a per-mask ``bitwise_xor.reduce`` over
+  the mask-selected rows — still vectorized over the blocks of each answer.
+* :class:`BigIntKernel` is the pre-existing big-int fold, kept verbatim as
+  the reference oracle; property tests pin the packed kernel bit-identical
+  to it (answers, error behaviour and adversary-view logs).
+
+Kernel selection is a runtime decision (:func:`resolve_kernel`): an explicit
+argument wins, then the ``REPRO_PIR_KERNEL`` environment variable, then
+``auto`` — numpy importable selects the packed kernel, otherwise the big-int
+oracle serves.  Nothing in this package hard-requires numpy.
+
+Databases can be packed straight off the storage layer
+(:func:`kernel_from_pages`): pages are read through
+:meth:`~repro.storage.stores.MmapPageStore.get_page_view` when the backing
+store exposes zero-copy views, so packing an out-of-core shard never
+materialises intermediate ``bytes`` pages.  :func:`shared_kernel` memoises
+packs per backing store (keyed weakly, so a closed store releases its pack),
+which is how one packed image is shared by both replicas of a two-server
+protocol and by every worker context of the query engine.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import weakref
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..exceptions import PirError
+from .batch import mask_indices, random_subset_masks, validate_subset_mask
+
+try:  # numpy is optional: the big-int oracle serves when it is absent
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+
+#: Environment variable naming the default kernel (CI legs force it).
+ENV_PIR_KERNEL = "REPRO_PIR_KERNEL"
+
+#: Kernel names accepted by :func:`resolve_kernel`.
+KERNEL_NAMES = ("auto", "numpy", "bigint")
+
+
+def numpy_available() -> bool:
+    """Whether the packed numpy kernel can be built in this interpreter."""
+    return _np is not None
+
+
+def resolve_kernel(kernel: Optional[str] = None) -> str:
+    """The effective kernel name: ``"numpy"`` or ``"bigint"``.
+
+    Selection rules: an explicit ``kernel`` argument wins, then the
+    ``REPRO_PIR_KERNEL`` environment variable, then ``auto`` — which picks
+    the packed kernel when numpy is importable and the big-int oracle
+    otherwise.  Requesting ``"numpy"`` without numpy raises
+    :class:`PirError` (``auto`` never does).
+    """
+    if kernel is None:
+        kernel = os.environ.get(ENV_PIR_KERNEL) or "auto"
+    kernel = str(kernel).strip().lower()
+    if kernel not in KERNEL_NAMES:
+        raise PirError(
+            f"unknown PIR kernel {kernel!r}; expected one of {KERNEL_NAMES}"
+        )
+    if kernel == "auto":
+        return "numpy" if _np is not None else "bigint"
+    if kernel == "numpy" and _np is None:
+        raise PirError("the numpy PIR kernel was requested but numpy is not importable")
+    return kernel
+
+
+#: A page/block fetcher: maps a batch of block numbers to their buffers.
+BlockFetcher = Callable[[Sequence[int]], Sequence[Union[bytes, memoryview]]]
+
+
+class BigIntKernel:
+    """The big-int fold: one Python XOR per selected block (reference oracle)."""
+
+    name = "bigint"
+
+    def __init__(self, blocks: Sequence[bytes]) -> None:
+        if not blocks:
+            raise PirError("a PIR database needs at least one block")
+        self.num_blocks = len(blocks)
+        self.block_size = len(blocks[0])
+        self._block_ints = [
+            int.from_bytes(bytes(block), "big") for block in blocks
+        ]
+
+    @classmethod
+    def from_fetcher(
+        cls, num_blocks: int, block_size: int, fetch: BlockFetcher
+    ) -> "BigIntKernel":
+        if num_blocks <= 0:
+            raise PirError("a PIR database needs at least one block")
+        kernel = cls.__new__(cls)
+        kernel.num_blocks = num_blocks
+        kernel.block_size = block_size
+        kernel._block_ints = [
+            int.from_bytes(bytes(buffer), "big")
+            for start in range(0, num_blocks, 1024)
+            for buffer in fetch(range(start, min(num_blocks, start + 1024)))
+        ]
+        return kernel
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate resident bytes of the packed block image."""
+        return self.num_blocks * self.block_size
+
+    def answer_indices(self, indices: Iterable[int]) -> bytes:
+        accumulator = 0
+        block_ints = self._block_ints
+        for index in indices:
+            accumulator ^= block_ints[index]
+        return accumulator.to_bytes(self.block_size, "big")
+
+    def answer_mask(self, mask: int) -> bytes:
+        return self.answer_indices(mask_indices(mask, num_blocks=self.num_blocks))
+
+    def answer_many(self, masks: Sequence[int]) -> List[bytes]:
+        return [self.answer_mask(mask) for mask in masks]
+
+
+class PackedDatabase:
+    """The packed numpy kernel: group-table GF(2) mask-matrix answering.
+
+    ``rows`` is the read-only ``(num_blocks, words)`` ``uint64`` image of the
+    database (each block zero-padded to a whole number of 64-bit words).
+    Group tables are built eagerly at pack time — packing is the amortized
+    place to pay — with the group width adapting to the table budget.
+    """
+
+    name = "numpy"
+
+    #: Group-table budget; beyond it the group width shrinks (8 → 4 → 2) and
+    #: finally the kernel falls back to per-mask row gathers.
+    MAX_TABLE_BYTES = 64 * 1024 * 1024
+    #: Temporary-gather budget per ``answer_rows`` chunk.
+    CHUNK_BYTES = 8 * 1024 * 1024
+
+    def __init__(self, rows, block_size: int) -> None:
+        if _np is None:  # pragma: no cover - guarded by resolve_kernel
+            raise PirError("the numpy PIR kernel requires numpy")
+        if rows.ndim != 2 or rows.dtype != _np.uint64 or rows.shape[0] < 1:
+            raise PirError("packed databases are non-empty 2-D uint64 arrays")
+        rows = _np.ascontiguousarray(rows)
+        rows.setflags(write=False)
+        self._rows = rows
+        self.num_blocks = int(rows.shape[0])
+        self.words = int(rows.shape[1])
+        self.block_size = int(block_size)
+        self._mask_bytes = (self.num_blocks + 7) // 8
+        self._build_tables()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_blocks(cls, blocks: Sequence[bytes]) -> "PackedDatabase":
+        if not blocks:
+            raise PirError("a PIR database needs at least one block")
+        return cls.from_fetcher(
+            len(blocks), len(blocks[0]), lambda numbers: [blocks[n] for n in numbers]
+        )
+
+    @classmethod
+    def from_fetcher(
+        cls, num_blocks: int, block_size: int, fetch: BlockFetcher
+    ) -> "PackedDatabase":
+        """Pack ``num_blocks`` equal-sized blocks served by ``fetch``.
+
+        ``fetch`` may return any buffer (``bytes`` or zero-copy
+        ``memoryview``); each is copied exactly once, into its packed row.
+        """
+        if _np is None:
+            raise PirError("the numpy PIR kernel requires numpy")
+        if num_blocks <= 0:
+            raise PirError("a PIR database needs at least one block")
+        words = max(1, (block_size + 7) // 8)
+        rows = _np.zeros((num_blocks, words), dtype=_np.uint64)
+        flat = rows.view(_np.uint8).reshape(num_blocks, words * 8)
+        chunk = max(1, (4 * 1024 * 1024) // max(1, block_size))
+        for start in range(0, num_blocks, chunk):
+            numbers = range(start, min(num_blocks, start + chunk))
+            for offset, buffer in enumerate(fetch(numbers)):
+                data = _np.frombuffer(buffer, dtype=_np.uint8)
+                if data.shape[0] != block_size:
+                    raise PirError(
+                        f"block {start + offset} has {data.shape[0]} bytes, "
+                        f"expected {block_size}"
+                    )
+                flat[start + offset, :block_size] = data
+        return cls(rows, block_size)
+
+    def _build_tables(self) -> None:
+        """Pre-compute per-group XOR combination tables (adaptive width)."""
+        np = _np
+        n, words = self.num_blocks, self.words
+        self._group_bits = None
+        self._tables = None
+        for bits in (8, 4, 2):
+            groups = -(-n // bits)
+            if groups * (1 << bits) * words * 8 <= self.MAX_TABLE_BYTES:
+                self._group_bits = bits
+                break
+        if self._group_bits is None:
+            return
+        bits, groups = self._group_bits, -(-n // self._group_bits)
+        padded = np.zeros((groups * bits, words), dtype=np.uint64)
+        padded[:n] = self._rows
+        grouped = padded.reshape(groups, bits, words)
+        tables = np.zeros((groups, 1 << bits, words), dtype=np.uint64)
+        for k in range(bits):
+            size = 1 << k
+            tables[:, size : 2 * size] = tables[:, :size] ^ grouped[:, k, None, :]
+        tables.setflags(write=False)
+        self._tables = tables
+        self._group_range = np.arange(groups)
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the packed image plus its group tables."""
+        total = self._rows.nbytes
+        if self._tables is not None:
+            total += self._tables.nbytes
+        return total
+
+    # ------------------------------------------------------------------ #
+    # answering
+    # ------------------------------------------------------------------ #
+    def _mask_matrix(self, masks: Sequence[int]):
+        """The masks as a ``(B, mask_bytes)`` little-endian uint8 matrix."""
+        np = _np
+        size = self._mask_bytes
+        buffer = b"".join(
+            validate_subset_mask(mask, self.num_blocks).to_bytes(size, "little")
+            for mask in masks
+        )
+        return np.frombuffer(buffer, dtype=np.uint8).reshape(len(masks), size)
+
+    def _digits(self, mask_matrix):
+        """Per-(mask, group) table indices from the packed mask bytes."""
+        np = _np
+        bits = self._group_bits
+        groups = self._tables.shape[0]
+        if bits == 8:
+            return mask_matrix[:, :groups]
+        per_byte = 8 // bits
+        low_mask = (1 << bits) - 1
+        parts = [(mask_matrix >> (k * bits)) & low_mask for k in range(per_byte)]
+        return np.stack(parts, axis=2).reshape(mask_matrix.shape[0], -1)[:, :groups]
+
+    #: Batch size above which the per-group accumulate loop beats the
+    #: materialized table gather (the loop's per-group numpy overhead is
+    #: amortized over the batch, and it never builds the (B, G, W) temp).
+    GROUP_LOOP_MIN_BATCH = 64
+
+    def answer_rows(self, masks: Sequence[int]):
+        """Answers for a batch of masks as a ``(B, words)`` uint64 array.
+
+        This is the whole server hot path, with no per-mask Python work:
+        small batches run one fancy-index table gather plus one
+        ``bitwise_xor.reduce``; large batches instead accumulate group by
+        group (``acc ^= tables[g, digits[:, g]]``), which skips the
+        ``(B, groups, words)`` temporary entirely and is ~2x faster once the
+        per-group numpy call overhead is amortized over the batch.
+        """
+        np = _np
+        batch = len(masks)
+        out = np.zeros((batch, self.words), dtype=np.uint64)
+        if batch == 0:
+            return out
+        mask_matrix = self._mask_matrix(masks)
+        if self._tables is not None:
+            groups = self._tables.shape[0]
+            digits = self._digits(mask_matrix)
+            if batch >= self.GROUP_LOOP_MIN_BATCH:
+                tables = self._tables
+                for group in range(groups):
+                    out ^= tables[group, digits[:, group]]
+                return out
+            chunk = max(1, self.CHUNK_BYTES // (groups * self.words * 8))
+            for start in range(0, batch, chunk):
+                gathered = self._tables[
+                    self._group_range, digits[start : start + chunk]
+                ]
+                np.bitwise_xor.reduce(
+                    gathered, axis=1, out=out[start : start + chunk]
+                )
+            return out
+        # fallback for databases beyond the table budget: gather the selected
+        # rows of each mask and reduce them (vectorized over the blocks)
+        selection = np.unpackbits(mask_matrix, axis=1, bitorder="little").astype(bool)
+        for position in range(batch):
+            selected = self._rows[selection[position, : self.num_blocks]]
+            if selected.shape[0]:
+                np.bitwise_xor.reduce(selected, axis=0, out=out[position])
+        return out
+
+    def rows_to_blocks(self, rows) -> List[bytes]:
+        """Slice a ``(B, words)`` answer array into per-answer block bytes.
+
+        One flat :class:`memoryview` over the array feeds every slice — no
+        per-answer serialise/parse round trip.
+        """
+        if rows.shape[0] == 0:
+            return []  # a zero-row view cannot be cast (and has no slices)
+        view = memoryview(_np.ascontiguousarray(rows)).cast("B")
+        stride, size = self.words * 8, self.block_size
+        return [
+            bytes(view[position * stride : position * stride + size])
+            for position in range(rows.shape[0])
+        ]
+
+    def answer_indices(self, indices: Iterable[int]) -> bytes:
+        np = _np
+        index_array = np.fromiter(indices, dtype=np.intp)
+        out = np.zeros(self.words, dtype=np.uint64)
+        if index_array.shape[0]:
+            np.bitwise_xor.reduce(self._rows[index_array], axis=0, out=out)
+        return out.tobytes()[: self.block_size]
+
+    def answer_mask(self, mask: int) -> bytes:
+        return self.rows_to_blocks(self.answer_rows([mask]))[0]
+
+    def answer_many(self, masks: Sequence[int]) -> List[bytes]:
+        return self.rows_to_blocks(self.answer_rows(masks))
+
+
+#: Either kernel implementation (they share the answering surface).
+ServerKernel = Union[BigIntKernel, PackedDatabase]
+
+
+def is_kernel(obj) -> bool:
+    """Whether ``obj`` is a prebuilt server kernel (vs. a block sequence)."""
+    return isinstance(obj, (BigIntKernel, PackedDatabase))
+
+
+def make_kernel(blocks: Sequence[bytes], kernel: Optional[str] = None) -> ServerKernel:
+    """Build the selected kernel over an in-memory block database."""
+    if resolve_kernel(kernel) == "numpy":
+        return PackedDatabase.from_blocks(blocks)
+    return BigIntKernel(blocks)
+
+
+# ---------------------------------------------------------------------- #
+# packing off the storage layer
+# ---------------------------------------------------------------------- #
+def _page_fetcher(page_file, page_numbers: Optional[Sequence[int]]) -> BlockFetcher:
+    """A fetcher over a :class:`~repro.storage.pagefile.PageFile`.
+
+    Prefers the backing store's zero-copy ``get_page_view`` (the mmap
+    backend) when every requested page is sealed on the store; otherwise
+    pages come back through the batched page-file read, which also covers a
+    live tail page.
+    """
+    store = page_file.store
+    translate = (
+        (lambda numbers: numbers)
+        if page_numbers is None
+        else (lambda numbers: [page_numbers[n] for n in numbers])
+    )
+    get_view = getattr(store, "get_page_view", None)
+    if get_view is not None and page_file._tail is None:
+        store.flush()
+
+        def fetch_views(numbers: Sequence[int]):
+            return [get_view(number) for number in translate(numbers)]
+
+        return fetch_views
+
+    def fetch_batch(numbers: Sequence[int]):
+        return page_file.read_pages_batch(translate(numbers))
+
+    return fetch_batch
+
+
+def kernel_from_pages(
+    page_file,
+    page_numbers: Optional[Sequence[int]] = None,
+    kernel: Optional[str] = None,
+) -> ServerKernel:
+    """Pack a page file (or a subset of its pages, e.g. one shard) into a kernel."""
+    count = page_file.num_pages if page_numbers is None else len(page_numbers)
+    if count <= 0:
+        raise PirError(f"page file {page_file.name!r} has no pages to pack")
+    fetch = _page_fetcher(page_file, page_numbers)
+    cls = PackedDatabase if resolve_kernel(kernel) == "numpy" else BigIntKernel
+    return cls.from_fetcher(count, page_file.page_size, fetch)
+
+
+#: store -> {(kernel, file name, num pages, extra key) -> kernel object}.
+#: Weakly keyed so closing/dropping a store releases its packed image.
+_SHARED_KERNELS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_SHARED_KERNELS_LOCK = threading.Lock()
+
+
+def shared_kernel(
+    page_file,
+    page_numbers: Optional[Sequence[int]] = None,
+    kernel: Optional[str] = None,
+    cache_key: Tuple = (),
+) -> ServerKernel:
+    """The memoised packed kernel for a page file (or page subset).
+
+    One packed image per ``(backing store, kernel, file, page count, cache
+    key)`` is shared by every consumer — the two replicas of a protocol and
+    all worker contexts of an engine.  The page count participates in the
+    key, so a file that grew since the last pack is repacked; serving
+    databases are sealed, which is what makes the memo safe.
+    """
+    resolved = resolve_kernel(kernel)
+    count = page_file.num_pages if page_numbers is None else len(page_numbers)
+    key = (resolved, page_file.name, count) + tuple(cache_key)
+    store = page_file.store
+    with _SHARED_KERNELS_LOCK:
+        per_store = _SHARED_KERNELS.get(store)
+        if per_store is None:
+            per_store = {}
+            _SHARED_KERNELS[store] = per_store
+        cached = per_store.get(key)
+    if cached is not None:
+        return cached
+    built = kernel_from_pages(page_file, page_numbers, kernel=resolved)
+    with _SHARED_KERNELS_LOCK:
+        return per_store.setdefault(key, built)
+
+
+# ---------------------------------------------------------------------- #
+# oblivious serving through a kernel
+# ---------------------------------------------------------------------- #
+def oblivious_read_many(
+    kernel: ServerKernel,
+    rng,
+    indices: Sequence[int],
+    log: Optional[Callable[[frozenset], None]] = None,
+) -> List[bytes]:
+    """Serve block reads through a two-server XOR retrieval over ``kernel``.
+
+    Both logical servers answer off the one shared packed image (the
+    non-collusion split is a deployment property, not a data-layout one).
+    ``log`` receives each server-visible subset — the adversary view the
+    privacy tests compare across kernels; identical RNG state yields
+    identical logs for either kernel, which the property tests pin.
+    """
+    if not indices:
+        return []
+    masks_a = random_subset_masks(rng, kernel.num_blocks, len(indices))
+    masks_b = [mask ^ (1 << index) for mask, index in zip(masks_a, indices)]
+    if log is not None:
+        for mask_a, mask_b in zip(masks_a, masks_b):
+            log(frozenset(mask_indices(mask_a)))
+            log(frozenset(mask_indices(mask_b)))
+    if isinstance(kernel, PackedDatabase):
+        rows = kernel.answer_rows(masks_a)
+        rows = rows ^ kernel.answer_rows(masks_b)
+        return kernel.rows_to_blocks(rows)
+    return [
+        (
+            int.from_bytes(kernel.answer_mask(mask_a), "big")
+            ^ int.from_bytes(kernel.answer_mask(mask_b), "big")
+        ).to_bytes(kernel.block_size, "big")
+        for mask_a, mask_b in zip(masks_a, masks_b)
+    ]

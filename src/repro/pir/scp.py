@@ -16,12 +16,14 @@ performance (Section 7.1).  This module reproduces that simulation:
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..costmodel import DEFAULT_SPEC, SystemSpec, pir_page_retrieval_time
 from ..exceptions import FileSizeLimitError, PirError
 from ..storage import Database, PageFile
 from .access_log import AccessTrace
+from .kernels import oblivious_read_many, resolve_kernel, shared_kernel
 
 
 class SecureCoprocessor:
@@ -62,6 +64,18 @@ class UsablePirSimulator:
       the private page number in the supplied :class:`AccessTrace`,
     * accumulates the simulated PIR time, and
     * returns the page bytes.
+
+    ``xor_kernel`` additionally routes every page read through a real
+    two-server XOR retrieval served by a packed server kernel
+    (:mod:`repro.pir.kernels`): ``"auto"``/``"numpy"``/``"bigint"`` select
+    the kernel, ``None`` (the default) keeps direct page reads — eagerly
+    packing every file would defeat the out-of-core storage backends, so XOR
+    serving is a per-simulator opt-in.  The page bytes returned, the traces
+    and the simulated cost model are identical either way; what changes is
+    that the server-side work is *actually performed*, which is what the
+    kernel benchmarks measure.  ``log_queries`` records the server-visible
+    subsets in ``queries_seen`` as ``(file name, subset)`` — with the same
+    ``kernel_seed``, both kernels produce identical logs (property-tested).
     """
 
     def __init__(
@@ -70,11 +84,20 @@ class UsablePirSimulator:
         scp: Optional[SecureCoprocessor] = None,
         spec: SystemSpec = DEFAULT_SPEC,
         enforce_limits: bool = True,
+        xor_kernel: Optional[str] = None,
+        log_queries: bool = False,
+        kernel_seed: int = 0,
     ) -> None:
         self.database = database
         self.spec = spec
         self.scp = scp if scp is not None else SecureCoprocessor(spec)
         self.enforce_limits = enforce_limits
+        self.xor_kernel: Optional[str] = (
+            None if xor_kernel in (None, "off") else resolve_kernel(xor_kernel)
+        )
+        self.log_queries = log_queries
+        self.queries_seen: List[Tuple[str, frozenset]] = []
+        self._kernel_rng = random.Random(kernel_seed)
         self._pir_time_s = 0.0
 
     @property
@@ -118,7 +141,10 @@ class UsablePirSimulator:
         page_file = self._validate_file(file_name)
         for page_number in page_numbers:
             self._validate_page(page_file, file_name, page_number)
-        results = page_file.read_pages_batch(page_numbers)
+        if self.xor_kernel is None:
+            results = page_file.read_pages_batch(page_numbers)
+        else:
+            results = self._oblivious_read(page_file, page_numbers)
         for page_number in page_numbers:
             self._charge(page_file, file_name, page_number, trace)
         return results
@@ -141,7 +167,26 @@ class UsablePirSimulator:
 
     def _read_page(self, page_file: PageFile, page_number: int) -> bytes:
         """Fetch the page bytes (overridden by the sharded simulator)."""
-        return page_file.read_page(page_number)
+        if self.xor_kernel is None:
+            return page_file.read_page(page_number)
+        return self._oblivious_read(page_file, [page_number])[0]
+
+    def _oblivious_read(
+        self, page_file: PageFile, page_numbers: Sequence[int]
+    ) -> List[bytes]:
+        """Serve validated page reads through the XOR kernel (opt-in path).
+
+        The packed kernel for each file is memoised per backing store
+        (:func:`~repro.pir.kernels.shared_kernel`), so every simulator over
+        the same database — e.g. all engine worker contexts — answers off
+        one packed image.
+        """
+        kernel = shared_kernel(page_file, kernel=self.xor_kernel)
+        log: Optional[Callable[[frozenset], None]] = None
+        if self.log_queries:
+            file_name = page_file.name
+            log = lambda subset: self.queries_seen.append((file_name, subset))
+        return oblivious_read_many(kernel, self._kernel_rng, page_numbers, log=log)
 
     def _charge(
         self,

@@ -31,12 +31,14 @@ partitioned PIR; deployments pick ``S`` accordingly.
 
 from __future__ import annotations
 
+import random
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..costmodel import DEFAULT_SPEC, SystemSpec
 from ..exceptions import PirError
 from ..storage import Database
 from .access_log import AccessTrace
+from .kernels import ServerKernel, oblivious_read_many, shared_kernel
 from .protocol import PirProtocol, validate_block_database
 from .scp import SecureCoprocessor, UsablePirSimulator
 from .xor_pir import TwoServerXorPir
@@ -177,6 +179,7 @@ class ShardedPir(PirProtocol):
         strategy: str = "round-robin",
         protocol_factory: Optional[ProtocolFactory] = None,
         log_queries: bool = False,
+        kernel: Optional[str] = None,
     ) -> None:
         blocks = validate_block_database(blocks)
         if num_shards > len(blocks):
@@ -186,8 +189,10 @@ class ShardedPir(PirProtocol):
             )
         self.shard_map = ShardMap(len(blocks), num_shards, strategy)
         if protocol_factory is None:
+            # each shard packs its own (1/S-sized) database through the
+            # selected server kernel; ``kernel=None`` keeps runtime selection
             protocol_factory = lambda shard_blocks: TwoServerXorPir(
-                shard_blocks, log_queries=log_queries
+                shard_blocks, log_queries=log_queries, kernel=kernel
             )
         self.shards: List[PirProtocol] = [
             protocol_factory(shard_blocks)
@@ -287,19 +292,33 @@ class ShardedPageStore:
             return 0
         return file_map.shard_sizes()[shard_id]
 
+    def check_local(
+        self, shard_id: int, file_name: str, local_pages: Sequence[int]
+    ) -> ShardMap:
+        """Validate shard-local coordinates; returns the file's shard map.
+
+        Shared by the direct-read and the XOR-kernel serving paths so both
+        raise the identical :class:`PirError` for bad coordinates.
+        """
+        file_map = self.maps.get(file_name)
+        if file_map is None:
+            raise PirError(f"file {file_name!r} has no sharded pages")
+        shard_size = (
+            file_map.shard_sizes()[shard_id]
+            if 0 <= shard_id < file_map.num_shards
+            else 0
+        )
+        for local_page in local_pages:
+            if local_page < 0 or local_page >= shard_size:
+                raise PirError(
+                    f"shard {shard_id} does not hold page {local_page} of "
+                    f"file {file_name!r}"
+                )
+        return file_map
+
     def read_local(self, shard_id: int, file_name: str, local_page: int) -> bytes:
         """The padded page image at a shard-local coordinate."""
-        file_map = self.maps.get(file_name)
-        if (
-            file_map is None
-            or shard_id >= file_map.num_shards
-            or local_page >= file_map.shard_sizes()[shard_id]
-            or local_page < 0
-        ):
-            raise PirError(
-                f"shard {shard_id} does not hold page {local_page} of "
-                f"file {file_name!r}"
-            )
+        file_map = self.check_local(shard_id, file_name, (local_page,))
         page_number = file_map.global_index(shard_id, local_page)
         return self._files[file_name].read_page(page_number)
 
@@ -307,20 +326,43 @@ class ShardedPageStore:
         self, shard_id: int, file_name: str, local_pages: Sequence[int]
     ) -> List[bytes]:
         """Batched shard-local reads (one backing-store round trip)."""
-        file_map = self.maps.get(file_name)
-        if file_map is None:
-            raise PirError(f"file {file_name!r} has no sharded pages")
-        shard_size = file_map.shard_sizes()[shard_id] if shard_id < file_map.num_shards else 0
-        for local_page in local_pages:
-            if local_page < 0 or local_page >= shard_size:
-                raise PirError(
-                    f"shard {shard_id} does not hold page {local_page} of "
-                    f"file {file_name!r}"
-                )
+        file_map = self.check_local(shard_id, file_name, local_pages)
         page_numbers = [
             file_map.global_index(shard_id, local_page) for local_page in local_pages
         ]
         return self._files[file_name].read_pages_batch(page_numbers)
+
+    def shard_kernel(
+        self, shard_id: int, file_name: str, kernel: Optional[str] = None
+    ) -> ServerKernel:
+        """The (memoised) packed server kernel over one shard of one file.
+
+        The kernel packs the shard's pages in local order — local page ``l``
+        is kernel block ``l`` — reading them zero-copy off the backing store
+        when it exposes page views (the mmap backend).  Packs are cached per
+        backing store by :func:`~repro.pir.kernels.shared_kernel`, so every
+        simulator/worker sharing this view answers off one packed image per
+        shard.
+        """
+        file_map = self.check_local(shard_id, file_name, ())
+        shard_size = (
+            file_map.shard_sizes()[shard_id]
+            if 0 <= shard_id < file_map.num_shards
+            else 0
+        )
+        if shard_size == 0:
+            raise PirError(
+                f"shard {shard_id} holds no pages of file {file_name!r}"
+            )
+        page_numbers = [
+            file_map.global_index(shard_id, local) for local in range(shard_size)
+        ]
+        return shared_kernel(
+            self._files[file_name],
+            page_numbers,
+            kernel=kernel,
+            cache_key=("shard", shard_id, file_map.num_shards, self.strategy),
+        )
 
     @property
     def resident_page_bytes(self) -> int:
@@ -340,27 +382,60 @@ class PirShard:
     statistics of this connection.  Worker contexts of the query engine each
     hold their own connection objects, so per-worker shard load can be
     inspected independently.
+
+    With ``xor_kernel`` set, reads are served as two-server XOR retrievals
+    over this shard's packed kernel (one shared pack per shard and file —
+    see :meth:`ShardedPageStore.shard_kernel`) instead of direct store
+    reads; the returned bytes are identical, the server-side XOR work is
+    real.  ``log`` receives ``(file name, shard id, subset)`` per answered
+    subset — the sharded deployment's adversary view.
     """
 
-    __slots__ = ("shard_id", "pages_served", "_store")
+    __slots__ = ("shard_id", "pages_served", "_store", "_xor_kernel", "_rng", "_log")
 
-    def __init__(self, shard_id: int, store: ShardedPageStore) -> None:
+    def __init__(
+        self,
+        shard_id: int,
+        store: ShardedPageStore,
+        xor_kernel: Optional[str] = None,
+        rng: Optional[random.Random] = None,
+        log: Optional[Callable[[Tuple[str, int, frozenset]], None]] = None,
+    ) -> None:
         self.shard_id = shard_id
         self.pages_served = 0
         self._store = store
+        self._xor_kernel = xor_kernel
+        self._rng = rng
+        self._log = log
 
     def num_pages(self, file_name: str) -> int:
         return self._store.shard_num_pages(self.shard_id, file_name)
 
     def read(self, file_name: str, local_page: int) -> bytes:
-        page = self._store.read_local(self.shard_id, file_name, local_page)
+        if self._xor_kernel is None:
+            page = self._store.read_local(self.shard_id, file_name, local_page)
+        else:
+            page = self._serve(file_name, [local_page])[0]
         self.pages_served += 1
         return page
 
     def read_many(self, file_name: str, local_pages: Sequence[int]) -> List[bytes]:
-        pages = self._store.read_local_batch(self.shard_id, file_name, local_pages)
+        if self._xor_kernel is None:
+            pages = self._store.read_local_batch(self.shard_id, file_name, local_pages)
+        else:
+            pages = self._serve(file_name, list(local_pages))
         self.pages_served += len(pages)
         return pages
+
+    def _serve(self, file_name: str, local_pages: List[int]) -> List[bytes]:
+        """Answer validated local reads through this shard's XOR kernel."""
+        self._store.check_local(self.shard_id, file_name, local_pages)
+        kernel = self._store.shard_kernel(self.shard_id, file_name, self._xor_kernel)
+        log: Optional[Callable[[frozenset], None]] = None
+        if self._log is not None:
+            sink, shard_id = self._log, self.shard_id
+            log = lambda subset: sink((file_name, shard_id, subset))
+        return oblivious_read_many(kernel, self._rng, local_pages, log=log)
 
 
 class ShardedPirSimulator(UsablePirSimulator):
@@ -388,8 +463,19 @@ class ShardedPirSimulator(UsablePirSimulator):
         num_shards: int = 2,
         strategy: str = "round-robin",
         store: Optional[ShardedPageStore] = None,
+        xor_kernel: Optional[str] = None,
+        log_queries: bool = False,
+        kernel_seed: int = 0,
     ) -> None:
-        super().__init__(database, scp=scp, spec=spec, enforce_limits=enforce_limits)
+        super().__init__(
+            database,
+            scp=scp,
+            spec=spec,
+            enforce_limits=enforce_limits,
+            xor_kernel=xor_kernel,
+            log_queries=log_queries,
+            kernel_seed=kernel_seed,
+        )
         if store is None:
             store = ShardedPageStore(database, num_shards, strategy)
         elif store.num_shards != num_shards or store.strategy != strategy:
@@ -400,8 +486,23 @@ class ShardedPirSimulator(UsablePirSimulator):
         self.num_shards = num_shards
         self.strategy = strategy
         #: This simulator's own connections to the shared store's shards.
+        #: With XOR serving enabled each connection owns an independent,
+        #: deterministically seeded subset RNG, so adversary-view logs are
+        #: reproducible (and identical across kernels) for a given seed.
+        log = self.queries_seen.append if log_queries else None
         self.shards = [
-            PirShard(shard_id, store) for shard_id in range(num_shards)
+            PirShard(
+                shard_id,
+                store,
+                xor_kernel=self.xor_kernel,
+                rng=(
+                    random.Random(kernel_seed * 0x9E3779B1 + shard_id)
+                    if self.xor_kernel is not None
+                    else None
+                ),
+                log=log,
+            )
+            for shard_id in range(num_shards)
         ]
 
     def shard_of_page(self, file_name: str, page_number: int) -> Tuple[int, int]:

@@ -11,21 +11,29 @@ Each individual server sees a uniformly random subset regardless of ``i``, so
 it learns nothing about the retrieved index — this is the information-
 theoretic privacy guarantee the tests verify.
 
-Subsets are represented internally as integer bitmasks and block contents as
-big integers, so XOR accumulation runs at native speed instead of
-byte-at-a-time; :meth:`TwoServerXorPir.retrieve_many` additionally amortizes
-the random-subset generation over a whole batch (one ``getrandbits`` call).
-Adversary-view logging (``queries_seen``) is opt-in so that long benchmark
-runs do not accumulate an unbounded query log.
+Subsets are represented internally as integer bitmasks; the XOR folding
+itself lives in a pluggable server kernel (:mod:`repro.pir.kernels`): the
+packed numpy bit-matrix kernel when numpy is importable, the big-int fold as
+the always-available reference oracle.  One immutable kernel instance is
+shared by both server replicas — replication is a *trust* split, not a data
+layout, so packing the database twice per protocol instance (as earlier
+revisions did) only doubled resident memory.
+:meth:`TwoServerXorPir.retrieve_many` amortizes the random-subset generation
+over a whole batch (one ``getrandbits`` call) and, on the packed kernel,
+combines both servers' answers as one array XOR with ``memoryview`` decode —
+no per-answer bytes round trip.  Adversary-view logging (``queries_seen``)
+is opt-in so that long benchmark runs do not accumulate an unbounded query
+log.
 """
 
 from __future__ import annotations
 
 import secrets
-from typing import Iterable, List, Optional, Sequence, Set
+from typing import Iterable, List, Optional, Sequence, Set, Union
 
 from ..exceptions import PirError
 from .batch import mask_indices, random_subset_masks
+from .kernels import PackedDatabase, ServerKernel, is_kernel, make_kernel
 from .protocol import PirProtocol, validate_block_database
 
 
@@ -39,81 +47,130 @@ def xor_bytes(a: bytes, b: bytes) -> bytes:
 class XorPirServer:
     """One of the two replicated servers.
 
+    The first argument is either the block database itself or a prebuilt
+    :data:`~repro.pir.kernels.ServerKernel` — the latter is how
+    :class:`TwoServerXorPir` shares one packed database image between both
+    replicas.  ``kernel`` names the answering kernel to build when blocks
+    are given (``None`` → the :func:`~repro.pir.kernels.resolve_kernel`
+    runtime selection).
+
     ``log_queries`` controls whether the server keeps its adversary view
     (the subsets it was asked to answer) in ``queries_seen``.  It defaults to
     off: the log grows by one entry per retrieval and is only needed by the
     privacy tests/demos that inspect what a server observed.
     """
 
-    def __init__(self, blocks: Sequence[bytes], log_queries: bool = False) -> None:
-        self._blocks = validate_block_database(blocks)
-        self._block_ints = [int.from_bytes(block, "big") for block in self._blocks]
+    def __init__(
+        self,
+        blocks: Union[Sequence[bytes], ServerKernel],
+        log_queries: bool = False,
+        kernel: Optional[str] = None,
+    ) -> None:
+        if is_kernel(blocks):
+            self.kernel: ServerKernel = blocks
+        else:
+            self.kernel = make_kernel(validate_block_database(blocks), kernel=kernel)
         self.log_queries = log_queries
         self.queries_seen: List[frozenset] = []
 
     @property
     def num_blocks(self) -> int:
-        return len(self._blocks)
+        return self.kernel.num_blocks
 
     @property
     def block_size(self) -> int:
-        return len(self._blocks[0])
+        return self.kernel.block_size
+
+    @property
+    def kernel_name(self) -> str:
+        """Which kernel answers on this server (``"numpy"`` or ``"bigint"``)."""
+        return self.kernel.name
 
     def answer(self, subset: Set[int]) -> bytes:
         """XOR of the blocks whose indices are in ``subset``."""
+        num_blocks = self.kernel.num_blocks
         for index in subset:
-            if index < 0 or index >= len(self._blocks):
+            if index < 0 or index >= num_blocks:
                 raise PirError(f"block index {index} out of range")
         if self.log_queries:
             self.queries_seen.append(frozenset(subset))
-        accumulator = 0
-        block_ints = self._block_ints
-        for index in subset:
-            accumulator ^= block_ints[index]
-        return accumulator.to_bytes(self.block_size, "big")
+        return self.kernel.answer_indices(subset)
 
     def answer_mask(self, mask: int) -> bytes:
         """XOR of the blocks whose indices are set bits of ``mask``.
 
         The mask is validated against the database size (a corrupted mask
         would otherwise misdecode or index past the block list) — see
-        :func:`repro.pir.batch.mask_indices`.
+        :func:`repro.pir.batch.validate_subset_mask`.
         """
-        indices = mask_indices(mask, num_blocks=len(self._blocks))
         if self.log_queries:
-            self.queries_seen.append(frozenset(indices))
-        accumulator = 0
-        block_ints = self._block_ints
-        for index in indices:
-            accumulator ^= block_ints[index]
-        return accumulator.to_bytes(self.block_size, "big")
+            self.queries_seen.append(
+                frozenset(mask_indices(mask, num_blocks=self.kernel.num_blocks))
+            )
+        return self.kernel.answer_mask(mask)
 
     def answer_many(self, masks: Iterable[int]) -> List[bytes]:
-        """Answers for a batch of subset masks (one round trip in a real system)."""
-        return [self.answer_mask(mask) for mask in masks]
+        """Answers for a batch of subset masks (one round trip in a real system).
+
+        On the packed kernel the whole batch is one vectorized table gather
+        plus XOR-reduce; the big-int kernel folds mask by mask.
+        """
+        masks = list(masks)
+        if self.log_queries:
+            for mask in masks:
+                self.queries_seen.append(
+                    frozenset(mask_indices(mask, num_blocks=self.kernel.num_blocks))
+                )
+        return self.kernel.answer_many(masks)
+
+    def answer_rows(self, masks: Sequence[int]):
+        """Packed-kernel answers as a ``(B, words)`` uint64 array.
+
+        Only available when the packed kernel serves; the batched client
+        path uses it to combine both servers' answers with one array XOR.
+        """
+        if not isinstance(self.kernel, PackedDatabase):
+            raise PirError("answer_rows requires the packed numpy kernel")
+        if self.log_queries:
+            for mask in masks:
+                self.queries_seen.append(
+                    frozenset(mask_indices(mask, num_blocks=self.kernel.num_blocks))
+                )
+        return self.kernel.answer_rows(masks)
 
 
 class TwoServerXorPir(PirProtocol):
-    """Client-side driver of the two-server XOR PIR."""
+    """Client-side driver of the two-server XOR PIR.
+
+    Both replicas answer off one shared immutable kernel (``self.server_a.
+    kernel is self.server_b.kernel``): the database is packed exactly once
+    per protocol instance.
+    """
 
     def __init__(
         self,
-        blocks: Sequence[bytes],
+        blocks: Union[Sequence[bytes], ServerKernel],
         rng: Optional[secrets.SystemRandom] = None,
         log_queries: bool = False,
+        kernel: Optional[str] = None,
     ) -> None:
-        blocks = validate_block_database(blocks)
-        self.server_a = XorPirServer(blocks, log_queries=log_queries)
-        self.server_b = XorPirServer(blocks, log_queries=log_queries)
-        self._num_blocks = len(blocks)
+        if is_kernel(blocks):
+            shared: ServerKernel = blocks
+        else:
+            shared = make_kernel(validate_block_database(blocks), kernel=kernel)
+        self.server_a = XorPirServer(shared, log_queries=log_queries)
+        self.server_b = XorPirServer(shared, log_queries=log_queries)
+        self._num_blocks = shared.num_blocks
         self._rng = rng if rng is not None else secrets.SystemRandom()
 
     @property
     def num_blocks(self) -> int:
         return self._num_blocks
 
-    def _random_subset(self) -> Set[int]:
-        return set(mask_indices(self._rng.getrandbits(self._num_blocks)))
+    @property
+    def kernel_name(self) -> str:
+        """The (shared) server kernel answering this protocol's queries."""
+        return self.server_a.kernel_name
 
     def _check_index(self, index: int) -> None:
         if index < 0 or index >= self._num_blocks:
@@ -133,13 +190,22 @@ class TwoServerXorPir(PirProtocol):
         Equivalent to calling :meth:`retrieve` once per index (the property
         tests assert this), but the random subsets for the whole batch come
         from a single ``getrandbits`` call and each server answers the batch
-        in one go.
+        in one go.  When the packed kernel serves, the two answer batches
+        are combined as a single array XOR and sliced out of one flat
+        ``memoryview``.
         """
         indices = list(indices)
         for index in indices:
             self._check_index(index)
+        if not indices:
+            return []
         masks_a = random_subset_masks(self._rng, self._num_blocks, len(indices))
         masks_b = [mask ^ (1 << index) for mask, index in zip(masks_a, indices)]
+        kernel = self.server_a.kernel
+        if isinstance(kernel, PackedDatabase):
+            rows = self.server_a.answer_rows(masks_a)
+            rows = rows ^ self.server_b.answer_rows(masks_b)
+            return kernel.rows_to_blocks(rows)
         answers_a = self.server_a.answer_many(masks_a)
         answers_b = self.server_b.answer_many(masks_b)
         return [xor_bytes(a, b) for a, b in zip(answers_a, answers_b)]

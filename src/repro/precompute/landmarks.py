@@ -12,10 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
-
 from ..exceptions import GraphError
 from ..network import NodeId, RoadNetwork, dijkstra_tree
+from ..network.generators import _default_rng
 
 
 @dataclass
@@ -67,7 +66,9 @@ def select_anchors(network: RoadNetwork, count: int, seed: int = 0) -> List[Node
     node_ids = list(network.node_ids())
     if count > len(node_ids):
         raise GraphError("more anchors requested than nodes available")
-    rng = np.random.default_rng(seed)
+    # numpy's generator when numpy is installed (anchor choice unchanged),
+    # the pure-Python stand-in otherwise — see repro.network.generators
+    rng = _default_rng(seed)
     coordinates = {
         node_id: (network.node(node_id).x, network.node(node_id).y) for node_id in node_ids
     }

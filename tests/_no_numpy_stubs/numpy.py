@@ -1,0 +1,12 @@
+"""Import blocker simulating an environment without numpy.
+
+Prepend this directory to ``PYTHONPATH`` to run the test suite against the
+pure-Python fallbacks even on a machine that has numpy installed:
+
+    PYTHONPATH=tests/_no_numpy_stubs:src python -m pytest -x -q
+
+Any ``import numpy`` then raises ImportError exactly as on a bare install,
+which must select the big-int PIR kernel and the scipy-free generators.
+"""
+
+raise ImportError("numpy is blocked by tests/_no_numpy_stubs")

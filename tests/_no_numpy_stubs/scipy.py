@@ -1,0 +1,3 @@
+"""Import blocker simulating an environment without scipy (see numpy.py)."""
+
+raise ImportError("scipy is blocked by tests/_no_numpy_stubs")

@@ -1,0 +1,316 @@
+"""Tests for the pluggable XOR-PIR server kernels (packed numpy vs big-int)."""
+
+import random
+
+import pytest
+
+from repro.exceptions import PirError
+from repro.pir import (
+    ENV_PIR_KERNEL,
+    BigIntKernel,
+    kernel_from_pages,
+    make_kernel,
+    numpy_available,
+    oblivious_read_many,
+    resolve_kernel,
+    shared_kernel,
+)
+from repro.pir.kernels import PackedDatabase, is_kernel
+from repro.storage import PageFile, open_page_store
+
+requires_numpy = pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+without_numpy = pytest.mark.skipif(numpy_available(), reason="only without numpy")
+
+
+def make_blocks(count=8, size=32, seed=0):
+    rng = random.Random(seed)
+    return [bytes(rng.randrange(256) for _ in range(size)) for _ in range(count)]
+
+
+def oracle_answer(blocks, mask):
+    """Straight-line XOR of the mask-selected blocks (independent of kernels)."""
+    accumulator = 0
+    for index, block in enumerate(blocks):
+        if (mask >> index) & 1:
+            accumulator ^= int.from_bytes(block, "big")
+    return accumulator.to_bytes(len(blocks[0]), "big")
+
+
+def random_masks(num_blocks, count, seed=0):
+    rng = random.Random(seed)
+    masks = [rng.getrandbits(num_blocks) for _ in range(count)]
+    # always include the edge masks: empty subset and the full database
+    return [0, (1 << num_blocks) - 1] + masks
+
+
+def page_file_with(blocks, backend="memory", directory=None):
+    page_size = len(blocks[0])
+    store = open_page_store(backend, "kern", page_size=page_size, directory=directory)
+    page_file = PageFile("kern", page_size=page_size, store=store)
+    for block in blocks:
+        page = page_file.new_page()
+        page.append(block)
+    page_file.flush()
+    return page_file
+
+
+class TestKernelSelection:
+    def test_auto_prefers_numpy_when_available(self, monkeypatch):
+        monkeypatch.delenv(ENV_PIR_KERNEL, raising=False)
+        expected = "numpy" if numpy_available() else "bigint"
+        assert resolve_kernel() == expected
+        assert resolve_kernel("auto") == expected
+
+    def test_explicit_name_normalized(self):
+        assert resolve_kernel(" BigInt ") == "bigint"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(PirError):
+            resolve_kernel("simd")
+
+    def test_environment_variable_supplies_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_PIR_KERNEL, "bigint")
+        assert resolve_kernel() == "bigint"
+        # but an explicit argument still wins over the environment
+        if numpy_available():
+            assert resolve_kernel("numpy") == "numpy"
+
+    def test_empty_environment_variable_means_auto(self, monkeypatch):
+        monkeypatch.setenv(ENV_PIR_KERNEL, "")
+        assert resolve_kernel() == ("numpy" if numpy_available() else "bigint")
+
+    @without_numpy
+    def test_numpy_request_without_numpy_rejected(self):
+        with pytest.raises(PirError):
+            resolve_kernel("numpy")
+
+    def test_make_kernel_builds_selected_implementation(self):
+        blocks = make_blocks(4)
+        bigint = make_kernel(blocks, kernel="bigint")
+        assert isinstance(bigint, BigIntKernel) and is_kernel(bigint)
+        if numpy_available():
+            packed = make_kernel(blocks, kernel="numpy")
+            assert isinstance(packed, PackedDatabase) and is_kernel(packed)
+        assert not is_kernel(blocks)
+
+
+class TestBigIntKernel:
+    def test_answers_match_manual_xor(self):
+        blocks = make_blocks(10, 24)
+        kernel = BigIntKernel(blocks)
+        for mask in random_masks(10, 20):
+            assert kernel.answer_mask(mask) == oracle_answer(blocks, mask)
+
+    def test_empty_subset_gives_zero_block(self):
+        kernel = BigIntKernel(make_blocks(3, 8))
+        assert kernel.answer_indices([]) == bytes(8)
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(PirError):
+            BigIntKernel([])
+        with pytest.raises(PirError):
+            BigIntKernel.from_fetcher(0, 8, lambda numbers: [])
+
+    def test_invalid_mask_rejected(self):
+        kernel = BigIntKernel(make_blocks(4, 8))
+        with pytest.raises(PirError):
+            kernel.answer_mask(-1)
+        with pytest.raises(PirError):
+            kernel.answer_mask(1 << 4)
+
+
+@requires_numpy
+class TestPackedDatabase:
+    # group padding: below, at and across group boundaries for every width
+    @pytest.mark.parametrize("num_blocks", [1, 5, 8, 9, 37, 64, 200])
+    @pytest.mark.parametrize("block_size", [7, 8, 32, 41])
+    def test_bit_identical_to_bigint_oracle(self, num_blocks, block_size):
+        blocks = make_blocks(num_blocks, block_size, seed=num_blocks)
+        packed = PackedDatabase.from_blocks(blocks)
+        oracle = BigIntKernel(blocks)
+        masks = random_masks(num_blocks, 12, seed=block_size)
+        assert packed.answer_many(masks) == oracle.answer_many(masks)
+        for mask in masks[:4]:
+            assert packed.answer_mask(mask) == oracle.answer_mask(mask)
+
+    def test_answer_indices_matches_oracle(self):
+        blocks = make_blocks(20, 16)
+        packed = PackedDatabase.from_blocks(blocks)
+        oracle = BigIntKernel(blocks)
+        for indices in ([], [0], [3, 7, 19], list(range(20))):
+            assert packed.answer_indices(indices) == oracle.answer_indices(indices)
+
+    def test_group_loop_and_gather_paths_agree(self, monkeypatch):
+        """The two batch strategies meet at GROUP_LOOP_MIN_BATCH; both must
+        equal the oracle on either side of the threshold."""
+        blocks = make_blocks(50, 16, seed=3)
+        packed = PackedDatabase.from_blocks(blocks)
+        oracle = BigIntKernel(blocks)
+        big_batch = random_masks(50, packed.GROUP_LOOP_MIN_BATCH + 10, seed=1)
+        assert packed.answer_many(big_batch) == oracle.answer_many(big_batch)
+        monkeypatch.setattr(PackedDatabase, "GROUP_LOOP_MIN_BATCH", 10 ** 9)
+        assert packed.answer_many(big_batch) == oracle.answer_many(big_batch)
+
+    # 100 blocks of 2 words: table bytes are 53248 / 6400 / 3200 for 8/4/2 bits
+    @pytest.mark.parametrize("budget,expected_bits", [
+        (64 * 1024 * 1024, 8),
+        (8000, 4),
+        (3300, 2),
+        (64, None),  # beyond any table: per-mask row-gather fallback
+    ])
+    def test_adaptive_group_width_stays_exact(self, monkeypatch, budget, expected_bits):
+        monkeypatch.setattr(PackedDatabase, "MAX_TABLE_BYTES", budget)
+        blocks = make_blocks(100, 16, seed=9)
+        packed = PackedDatabase.from_blocks(blocks)
+        assert packed._group_bits == expected_bits
+        assert (packed._tables is None) == (expected_bits is None)
+        oracle = BigIntKernel(blocks)
+        masks = random_masks(100, 16, seed=2)
+        assert packed.answer_many(masks) == oracle.answer_many(masks)
+
+    def test_invalid_mask_errors_match_bigint(self):
+        blocks = make_blocks(6, 8)
+        packed, oracle = PackedDatabase.from_blocks(blocks), BigIntKernel(blocks)
+        for bad in (-1, 1 << 6, (1 << 6) | 1):
+            with pytest.raises(PirError) as packed_error:
+                packed.answer_mask(bad)
+            with pytest.raises(PirError) as oracle_error:
+                oracle.answer_mask(bad)
+            assert str(packed_error.value) == str(oracle_error.value)
+
+    def test_packed_rows_are_immutable(self):
+        packed = PackedDatabase.from_blocks(make_blocks(4, 8))
+        with pytest.raises(ValueError):
+            packed._rows[0, 0] = 1
+
+    def test_wrong_block_size_rejected(self):
+        with pytest.raises(PirError):
+            PackedDatabase.from_fetcher(2, 8, lambda numbers: [b"x" * 8, b"y" * 7])
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(PirError):
+            PackedDatabase.from_blocks([])
+
+    def test_nbytes_accounts_for_tables(self):
+        packed = PackedDatabase.from_blocks(make_blocks(16, 8))
+        assert packed.nbytes >= packed._rows.nbytes > 0
+
+
+class TestKernelFromPages:
+    def test_memory_page_file_packs_exactly(self):
+        blocks = make_blocks(12, 64)
+        page_file = page_file_with(blocks)
+        kernel = kernel_from_pages(page_file)
+        expected = page_file.read_pages_batch(range(12))
+        assert kernel.answer_many([1 << n for n in range(12)]) == expected
+
+    def test_page_subset_packs_shard_view(self):
+        blocks = make_blocks(10, 32)
+        page_file = page_file_with(blocks)
+        subset = [1, 4, 7]
+        kernel = kernel_from_pages(page_file, page_numbers=subset)
+        assert kernel.num_blocks == 3
+        for local, global_page in enumerate(subset):
+            assert kernel.answer_indices([local]) == page_file.read_page(global_page)
+
+    def test_mmap_store_packs_through_zero_copy_views(self, tmp_path):
+        blocks = make_blocks(9, 128)
+        page_file = page_file_with(blocks, backend="mmap", directory=tmp_path)
+        try:
+            views = []
+            original = page_file.store.get_page_view
+            page_file.store.get_page_view = lambda n: views.append(n) or original(n)
+            kernel = kernel_from_pages(page_file)
+            assert sorted(views) == list(range(9)), "expected the zero-copy path"
+            assert kernel.answer_many([1 << n for n in range(9)]) == blocks
+        finally:
+            page_file.close()
+
+    def test_live_tail_page_is_packed_too(self):
+        page_file = PageFile("tail", page_size=16)
+        page_file.append_record_packed(b"0123456789abcdef")
+        page_file.append_record_packed(b"fedcba9876543210")  # still the mutable tail
+        assert page_file._tail is not None
+        kernel = kernel_from_pages(page_file)
+        assert kernel.num_blocks == 2
+        assert kernel.answer_indices([1]) == page_file.read_page(1)
+
+    def test_empty_page_file_rejected(self):
+        with pytest.raises(PirError):
+            kernel_from_pages(PageFile("empty", page_size=16))
+
+
+class TestSharedKernel:
+    def test_pack_is_memoised_per_store(self):
+        page_file = page_file_with(make_blocks(6, 32))
+        first = shared_kernel(page_file)
+        assert shared_kernel(page_file) is first
+
+    def test_kernel_name_and_subset_key_separate_entries(self):
+        page_file = page_file_with(make_blocks(6, 32))
+        whole = shared_kernel(page_file, kernel="bigint")
+        subset = shared_kernel(page_file, page_numbers=[0, 1], kernel="bigint",
+                               cache_key=("shard", 0))
+        assert whole is not subset
+        assert whole.num_blocks == 6 and subset.num_blocks == 2
+        if numpy_available():
+            assert shared_kernel(page_file, kernel="numpy") is not whole
+
+    def test_growth_triggers_repack(self):
+        blocks = make_blocks(4, 32)
+        page_file = page_file_with(blocks)
+        before = shared_kernel(page_file)
+        page_file.new_page().append(b"!" * 32)
+        page_file.flush()
+        after = shared_kernel(page_file)
+        assert after is not before
+        assert after.num_blocks == 5
+
+    def test_distinct_stores_do_not_share(self):
+        blocks = make_blocks(5, 32)
+        one = page_file_with(blocks)
+        two = page_file_with(blocks)
+        assert shared_kernel(one) is not shared_kernel(two)
+
+
+class TestObliviousReadMany:
+    @pytest.mark.parametrize("kernel_name", ["bigint", "numpy"])
+    def test_recovers_requested_blocks(self, kernel_name):
+        if kernel_name == "numpy" and not numpy_available():
+            pytest.skip("numpy not installed")
+        blocks = make_blocks(14, 48)
+        kernel = make_kernel(blocks, kernel=kernel_name)
+        rng = random.Random(11)
+        indices = [rng.randrange(14) for _ in range(25)]
+        assert oblivious_read_many(kernel, rng, indices) == [blocks[i] for i in indices]
+
+    def test_empty_batch_short_circuits(self):
+        kernel = make_kernel(make_blocks(3, 8), kernel="bigint")
+        assert oblivious_read_many(kernel, random.Random(0), []) == []
+
+    @requires_numpy
+    def test_adversary_log_identical_across_kernels(self):
+        """Same RNG state => byte-identical mask stream => identical logs,
+        whichever kernel answers.  This is the queries_seen parity the
+        privacy analysis relies on."""
+        blocks = make_blocks(18, 32)
+        indices = [3, 0, 17, 9, 9, 4]
+        logs = {}
+        for name in ("bigint", "numpy"):
+            kernel = make_kernel(blocks, kernel=name)
+            seen = []
+            answers = oblivious_read_many(
+                kernel, random.Random(99), indices, log=seen.append
+            )
+            assert answers == [blocks[i] for i in indices]
+            assert len(seen) == 2 * len(indices)
+            logs[name] = seen
+        assert logs["bigint"] == logs["numpy"]
+
+    def test_logged_subsets_differ_only_at_retrieved_index(self):
+        blocks = make_blocks(12, 16)
+        kernel = make_kernel(blocks, kernel="bigint")
+        seen = []
+        oblivious_read_many(kernel, random.Random(5), [7], log=seen.append)
+        subset_a, subset_b = seen
+        assert subset_a.symmetric_difference(subset_b) == {7}

@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.exceptions import PirError
-from repro.pir import TwoServerXorPir, XorPirServer, xor_bytes
+from repro.pir import TwoServerXorPir, XorPirServer, numpy_available, xor_bytes
 
 
 def make_blocks(count=8, size=32, seed=0):
@@ -84,3 +84,49 @@ class TestTwoServerProtocol:
     def test_num_blocks_property(self):
         pir = TwoServerXorPir(make_blocks(5, 8))
         assert pir.num_blocks == 5
+
+
+class TestServerKernels:
+    def test_replicas_share_one_packed_database(self):
+        """Replication is a trust split, not a data layout: both servers must
+        answer off the same immutable kernel instance (earlier revisions
+        packed the database twice, doubling resident memory)."""
+        pir = TwoServerXorPir(make_blocks(8, 16))
+        assert pir.server_a.kernel is pir.server_b.kernel
+        assert pir.kernel_name == pir.server_a.kernel_name
+
+    def test_kernel_selection_reaches_the_servers(self):
+        server = XorPirServer(make_blocks(4, 8), kernel="bigint")
+        assert server.kernel_name == "bigint"
+        if numpy_available():
+            assert XorPirServer(make_blocks(4, 8), kernel="numpy").kernel_name == "numpy"
+
+    def test_answer_rows_requires_packed_kernel(self):
+        server = XorPirServer(make_blocks(4, 8), kernel="bigint")
+        with pytest.raises(PirError):
+            server.answer_rows([0b0101])
+
+    @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+    def test_forced_kernels_retrieve_identically(self):
+        blocks = make_blocks(20, 64, seed=4)
+        indices = [random.Random(1).randrange(20) for _ in range(30)]
+        by_kernel = {}
+        for name in ("bigint", "numpy"):
+            pir = TwoServerXorPir(blocks, rng=random.Random(77), kernel=name)
+            assert pir.kernel_name == name
+            by_kernel[name] = pir.retrieve_many(indices)
+        assert by_kernel["bigint"] == by_kernel["numpy"]
+        assert by_kernel["bigint"] == [blocks[index] for index in indices]
+
+    @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+    def test_adversary_view_identical_across_kernels(self):
+        blocks = make_blocks(12, 16)
+        logs = {}
+        for name in ("bigint", "numpy"):
+            pir = TwoServerXorPir(
+                blocks, rng=random.Random(5), log_queries=True, kernel=name
+            )
+            pir.retrieve_many([2, 8, 2, 11])
+            pir.retrieve(6)
+            logs[name] = (pir.server_a.queries_seen, pir.server_b.queries_seen)
+        assert logs["bigint"] == logs["numpy"]
