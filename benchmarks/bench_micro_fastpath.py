@@ -410,6 +410,7 @@ def run_store_backend_microbench(num_pages=1024, page_bytes=1024, reads=2048, se
     is deliberately no speed floor for the disk backends, whose point is
     capacity (out-of-core databases), not speed.
     """
+    import contextlib
     import tempfile
 
     from repro.storage import open_page_store
@@ -424,15 +425,19 @@ def run_store_backend_microbench(num_pages=1024, page_bytes=1024, reads=2048, se
     results = {}
     with tempfile.TemporaryDirectory(prefix="repro-storebench-") as directory:
         for backend in ("memory", "mmap", "sqlite"):
-            store = open_page_store(backend, "bench", page_size=page_bytes, directory=directory)
-            append_started = time.perf_counter()
-            for payload in payloads:
-                store.append_page(payload)
-            store.flush()
-            append_s = time.perf_counter() - append_started
+            with contextlib.closing(
+                open_page_store(
+                    backend, "bench", page_size=page_bytes, directory=directory
+                )
+            ) as store:
+                append_started = time.perf_counter()
+                for payload in payloads:
+                    store.append_page(payload)
+                store.flush()
+                append_s = time.perf_counter() - append_started
 
-            loop_s, loop_pages = _time(lambda: [store.get_page(n) for n in stream])
-            batch_s, batch_pages = _time(lambda: store.get_pages_batch(stream))
+                loop_s, loop_pages = _time(lambda: [store.get_page(n) for n in stream])
+                batch_s, batch_pages = _time(lambda: store.get_pages_batch(stream))
 
             assert loop_pages == batch_pages, f"{backend}: batch disagrees with loop"
             if expected is None:
@@ -449,7 +454,6 @@ def run_store_backend_microbench(num_pages=1024, page_bytes=1024, reads=2048, se
                 "reference_s": loop_s,
                 "speedup": loop_s / batch_s,
             }
-            store.close()
     return results
 
 

@@ -17,6 +17,7 @@ The pytest wrapper runs a scaled-down build (override with
 when the database actually dwarfs the interpreter's baseline footprint.
 """
 
+import contextlib
 import math
 import os
 import resource
@@ -53,17 +54,18 @@ def run_out_of_core_build(backend, num_nodes=1_000_000, directory=None):
         )
         build_s = time.perf_counter() - started
 
-        data_file = database.file("data")
-        db_bytes = data_file.num_pages * PAGE_SIZE
-        # spot-check the stream round-trips: first records decode in order
-        for expected_id, record in zip(range(64), iter_node_records(database)):
-            assert record[0] == expected_id, "streamed records decode out of order"
-        database.close()
+        with contextlib.closing(database):
+            data_file = database.file("data")
+            db_bytes = data_file.num_pages * PAGE_SIZE
+            # spot-check the stream round-trips: first records decode in order
+            for expected_id, record in zip(range(64), iter_node_records(database)):
+                assert record[0] == expected_id, "streamed records decode out of order"
 
         # durability: the store file reopens with the same page population
-        reopened = open_page_store(backend, "data", directory=store_dir, create=False)
-        assert reopened.num_pages == data_file.num_pages
-        reopened.close()
+        with contextlib.closing(
+            open_page_store(backend, "data", directory=store_dir, create=False)
+        ) as reopened:
+            assert reopened.num_pages == data_file.num_pages
 
         return {
             "backend": backend,

@@ -65,7 +65,11 @@ def _lookup(data, path: str):
     return node
 
 
-def check_floors(results: Dict[str, dict], only: Optional[str] = None) -> List[str]:
+def check_floors(
+    results: Dict[str, dict],
+    only: Optional[str] = None,
+    require_registered: bool = False,
+) -> List[str]:
     """Violation messages for every floored metric ``results`` fails.
 
     ``results`` maps benchmark names to their ``data`` payloads.  Benchmarks
@@ -74,12 +78,23 @@ def check_floors(results: Dict[str, dict], only: Optional[str] = None) -> List[s
     not pass the gate).  ``only`` restricts the check to metric paths with
     that prefix — for call sites that measured a single benchmark function
     rather than a full result set.
+
+    ``require_registered`` additionally makes a registered benchmark that is
+    absent from ``results`` a violation.  The committed-baseline gate sets it:
+    deleting ``results/micro_fastpath.json`` must not silently disable every
+    floor it carries.  Call sites that deliberately pass a partial result set
+    (a single freshly measured benchmark) keep the permissive default.
     """
     violations = []
     for benchmark, floors in METRIC_FLOORS.items():
         data = results.get(benchmark)
         if data is None:
-            continue  # the baseline set need not contain every benchmark
+            if require_registered:
+                violations.append(
+                    f"{benchmark}: registered benchmark is missing from the "
+                    f"result set ({len(floors)} floor(s) unchecked)"
+                )
+            continue
         for metric in floors:
             if only is not None and not metric.path.startswith(only):
                 continue
@@ -101,21 +116,44 @@ def check_floors(results: Dict[str, dict], only: Optional[str] = None) -> List[s
     return violations
 
 
-def load_committed_results(results_dir: Path = RESULTS_DIR) -> Dict[str, dict]:
-    """The ``data`` payloads of every committed ``results/*.json`` envelope."""
-    results = {}
+def load_committed_results(
+    results_dir: Path = RESULTS_DIR,
+) -> Tuple[Dict[str, dict], List[str]]:
+    """The ``data`` payloads of every committed ``results/*.json`` envelope.
+
+    Returns ``(results, problems)``.  A baseline file that cannot be parsed —
+    malformed JSON, or an envelope that is not a JSON object — is reported as
+    a problem string instead of raising: a truncated commit of a results file
+    must fail the gate with a message naming the file, not a traceback.
+    """
+    results: Dict[str, dict] = {}
+    problems: List[str] = []
     for path in sorted(results_dir.glob("*.json")):
-        envelope = json.loads(path.read_text(encoding="utf-8"))
-        results[envelope.get("benchmark", path.stem)] = envelope.get("data", {})
-    return results
+        try:
+            envelope = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+            problems.append(f"{path.name}: unreadable baseline ({exc})")
+            continue
+        if not isinstance(envelope, dict):
+            problems.append(
+                f"{path.name}: baseline envelope is "
+                f"{type(envelope).__name__}, expected a JSON object"
+            )
+            continue
+        # ``data`` may be a list for table-style benchmarks without floors;
+        # _lookup treats non-dict payloads as "metric absent", so a floored
+        # benchmark with a mangled payload still fails its metric checks.
+        benchmark = envelope.get("benchmark", path.stem)
+        results[str(benchmark)] = envelope.get("data", {})
+    return results, problems
 
 
 def gate_committed_results(results_dir: Path = RESULTS_DIR) -> List[str]:
     """Check the committed baselines; returns the violations (empty = pass)."""
-    results = load_committed_results(results_dir)
-    if not results:
+    results, problems = load_committed_results(results_dir)
+    if not results and not problems:
         return [f"no committed benchmark baselines found under {results_dir}"]
-    return check_floors(results)
+    return problems + check_floors(results, require_registered=True)
 
 
 if __name__ == "__main__":

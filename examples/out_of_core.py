@@ -20,6 +20,7 @@ Run with: ``PYTHONPATH=src python examples/out_of_core.py``
 """
 
 import tempfile
+from contextlib import closing
 from pathlib import Path
 
 from repro.bench.workloads import generate_workload
@@ -62,13 +63,15 @@ def main() -> None:
         print("\n== 3. 'restart': reopen the page stores from disk ==")
         for name in scheme.database.file_names():
             live = scheme.database.file(name)
-            reopened = open_page_store("sqlite", name, directory=store_dir, create=False)
-            identical = all(
-                reopened.get_page(n) == live.read_page(n) for n in range(live.num_pages)
-            )
+            with closing(
+                open_page_store("sqlite", name, directory=store_dir, create=False)
+            ) as reopened:
+                identical = all(
+                    reopened.get_page(n) == live.read_page(n)
+                    for n in range(live.num_pages)
+                )
             print(f"  {name:<8}: {live.num_pages:4d} pages, "
                   f"bit-identical after reopen: {identical}")
-            reopened.close()
 
         print("\n== 4. stream a 40k-node grid through an mmap store ==")
         ooc_dir = Path(tmp) / "grid"

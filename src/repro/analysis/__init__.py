@@ -1,0 +1,35 @@
+"""Invariant-aware static analysis for the repository (``repro-lint``).
+
+The package statically enforces the contracts recorded in ``INVARIANTS.md``:
+query-plaintext privacy (I1), bit-identical determinism (I2), optional
+numpy/scipy (I3), plus concurrency and resource hygiene.  See
+:mod:`repro.analysis.core` for the machinery, :mod:`repro.analysis.rules`
+for the rule families, and :mod:`repro.analysis.cli` for the command line
+(``python -m repro.analysis`` / ``repro-lint``).
+"""
+
+from __future__ import annotations
+
+from .core import (
+    AnalysisResult,
+    Finding,
+    ParsedModule,
+    Rule,
+    all_rules,
+    iter_python_files,
+    parse_module,
+    register,
+    run_analysis,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "Finding",
+    "ParsedModule",
+    "Rule",
+    "all_rules",
+    "iter_python_files",
+    "parse_module",
+    "register",
+    "run_analysis",
+]

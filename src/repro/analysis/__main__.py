@@ -1,0 +1,15 @@
+"""``python -m repro.analysis`` — entry point for the repro-lint CLI."""
+
+from __future__ import annotations
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # report piped into `head` etc.; exit quietly like any unix filter
+        sys.stderr.close()
+        sys.exit(0)

@@ -1,0 +1,204 @@
+"""``repro-lint`` — command line for the invariant-aware analysis pass.
+
+Usage (also available as ``python -m repro.analysis``)::
+
+    repro-lint [paths...]            # text report, exit 1 on findings
+    repro-lint --json                # machine-readable, for CI
+    repro-lint --diff origin/main    # only findings on changed lines
+    repro-lint --list-rules          # registered rules by family
+    repro-lint --write-baseline      # grandfather current findings
+
+Exit codes: 0 clean, 1 findings reported, 2 usage/parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Set
+
+from . import gitdiff
+from .core import (
+    AnalysisResult,
+    Finding,
+    all_rules,
+    load_baseline,
+    run_analysis,
+    write_baseline,
+)
+
+__all__ = ["main"]
+
+#: Roots linted when no paths are given: the library plus the runnable
+#: surfaces (benchmarks/examples) that hold page-store and perf-gate code.
+DEFAULT_ROOTS = ("src", "benchmarks", "examples")
+
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "static analysis for the repository invariants (privacy taint, "
+            "determinism, optional deps, concurrency and resource hygiene); "
+            "see INVARIANTS.md for the contract each rule enforces"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files/directories to lint (default: {' '.join(DEFAULT_ROOTS)})",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root the rule path-scopes anchor on (default: cwd)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit a JSON report instead of text",
+    )
+    parser.add_argument(
+        "--diff",
+        metavar="REF",
+        help="report only findings on lines changed relative to a git ref",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file even if present",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules grouped by family and exit",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also report findings silenced by inline allows or the baseline",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines: List[str] = []
+    by_family: Dict[str, List[str]] = {}
+    for rule in all_rules():
+        by_family.setdefault(rule.family, []).append(
+            f"  {rule.id:<24} {rule.description}"
+        )
+    for family in sorted(by_family):
+        lines.append(f"{family}:")
+        lines.extend(by_family[family])
+    return "\n".join(lines)
+
+
+def _render_text(result: AnalysisResult, show_suppressed: bool) -> str:
+    lines: List[str] = []
+    for finding in result.findings:
+        lines.append(finding.format_text())
+    if show_suppressed:
+        for label, group in (
+            ("suppressed", result.suppressed),
+            ("baselined", result.baselined),
+        ):
+            for finding in group:
+                lines.append(f"[{label}] {finding.format_text()}")
+    for error in result.parse_errors:
+        lines.append(f"parse error: {error}")
+    count = len(result.findings)
+    noun = "finding" if count == 1 else "findings"
+    lines.append(
+        f"repro-lint: {count} {noun}, "
+        f"{len(result.suppressed)} suppressed, "
+        f"{len(result.baselined)} baselined, "
+        f"{result.files_checked} files checked"
+    )
+    return "\n".join(lines)
+
+
+def _render_json(result: AnalysisResult, show_suppressed: bool) -> str:
+    document: Dict[str, object] = {
+        "findings": [finding.to_json() for finding in result.findings],
+        "files_checked": result.files_checked,
+        "parse_errors": result.parse_errors,
+        "counts": {
+            "findings": len(result.findings),
+            "suppressed": len(result.suppressed),
+            "baselined": len(result.baselined),
+        },
+    }
+    if show_suppressed:
+        document["suppressed"] = [f.to_json() for f in result.suppressed]
+        document["baselined"] = [f.to_json() for f in result.baselined]
+    return json.dumps(document, indent=2)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    root = Path(args.root)
+    roots = [Path(p) for p in args.paths] if args.paths else [
+        root / name for name in DEFAULT_ROOTS if (root / name).exists()
+    ]
+
+    baseline: Optional[Mapping[str, object]] = None
+    baseline_path = root / args.baseline
+    if not args.no_baseline and not args.write_baseline and baseline_path.exists():
+        try:
+            baseline = load_baseline(baseline_path)
+        except (ValueError, json.JSONDecodeError) as error:
+            print(f"repro-lint: bad baseline {baseline_path}: {error}", file=sys.stderr)
+            return 2
+
+    changed: Optional[Dict[str, Set[int]]] = None
+    if args.diff:
+        try:
+            changed = gitdiff.changed_lines(args.diff, root)
+        except (subprocess.CalledProcessError, OSError) as error:
+            print(f"repro-lint: git diff against {args.diff!r} failed: {error}",
+                  file=sys.stderr)
+            return 2
+
+    result = run_analysis(
+        roots, root=root, baseline=baseline, changed_lines=changed
+    )
+
+    if args.write_baseline:
+        write_baseline(baseline_path, result.findings)
+        print(
+            f"repro-lint: wrote {len(result.findings)} grandfathered "
+            f"finding(s) to {baseline_path}"
+        )
+        return 0
+
+    if args.as_json:
+        print(_render_json(result, args.show_suppressed))
+    else:
+        print(_render_text(result, args.show_suppressed))
+
+    if result.parse_errors:
+        return 2
+    return 1 if result.findings else 0

@@ -1,0 +1,322 @@
+"""Core machinery of the invariant-aware static analysis pass.
+
+The repository promises three load-bearing invariants (see ``INVARIANTS.md``
+at the repo root): no query-plaintext leakage into server/operator-visible
+channels (I1), bit-identical results across every execution configuration
+(I2), and a fully optional numpy/scipy dependency (I3).  The property-test
+suite enforces them dynamically; this package enforces them *statically*, so
+a violating code path fails review even when no test happens to execute it.
+
+This module is rule-agnostic: it provides the :class:`Finding` record, the
+:class:`Rule` base class and registry, inline ``# repro: allow[rule-id]``
+suppressions, the committed-baseline mechanism for grandfathered findings,
+the file walker and the :func:`run_analysis` driver.  The project-specific
+rules live in :mod:`repro.analysis.rules`; the command line lives in
+:mod:`repro.analysis.cli` (``python -m repro.analysis``).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Type
+
+__all__ = [
+    "Finding",
+    "ParsedModule",
+    "Rule",
+    "all_rules",
+    "baseline_fingerprints",
+    "iter_python_files",
+    "load_baseline",
+    "parse_module",
+    "register",
+    "run_analysis",
+    "suppressed_rule_ids",
+    "write_baseline",
+]
+
+#: Inline suppression syntax: ``# repro: allow[rule-id]`` (comma-separated ids
+#: or ``*``), on the offending line or the line directly above it.
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9*,\- ]+)\]")
+
+#: Directory names the file walker never descends into.
+_SKIP_DIRS = {".git", "__pycache__", ".mypy_cache", ".pytest_cache", "results"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, addressable as ``path:line`` and by fingerprint."""
+
+    rule_id: str
+    path: str  #: posix path relative to the analysis root
+    line: int  #: 1-based line of the offending node
+    message: str
+    hint: str = ""
+    source_line: str = ""  #: stripped text of the offending line
+
+    @property
+    def fingerprint(self) -> str:
+        """A line-number-independent identity for baseline matching.
+
+        Keyed on (rule, file, offending source text) so findings survive
+        unrelated edits above them without baseline churn; moving or editing
+        the offending line itself invalidates the grandfathering, which is
+        the intended behaviour.
+        """
+        digest = hashlib.sha256(
+            "\x1f".join((self.rule_id, self.path, self.source_line)).encode("utf-8")
+        )
+        return digest.hexdigest()[:16]
+
+    def format_text(self) -> str:
+        text = f"{self.path}:{self.line}: [{self.rule_id}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass
+class ParsedModule:
+    """One source file, parsed once and shared by every rule."""
+
+    path: Path  #: absolute path on disk
+    rel_path: str  #: posix path relative to the analysis root
+    tree: ast.Module
+    lines: List[str]  #: raw source lines (1-based via ``line_text``)
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(
+        self, rule: "Rule", node: ast.AST, message: str, hint: Optional[str] = None
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        return Finding(
+            rule_id=rule.id,
+            path=self.rel_path,
+            line=line,
+            message=message,
+            hint=rule.hint if hint is None else hint,
+            source_line=self.line_text(line),
+        )
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set ``id`` (kebab-case, what ``# repro: allow[...]`` names),
+    ``family`` (the invariant family, for ``--list-rules`` grouping),
+    ``description`` and ``hint`` (should cite the ``INVARIANTS.md`` anchor),
+    restrict themselves via :meth:`applies_to` and emit findings from
+    :meth:`check`.  Rules are stateless; one shared instance runs everywhere.
+    """
+
+    id: str = ""
+    family: str = ""
+    description: str = ""
+    hint: str = ""
+
+    def applies_to(self, rel_path: str) -> bool:
+        return True
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding one instance of the rule to the registry."""
+    rule = rule_cls()
+    if not rule.id:
+        raise ValueError(f"rule {rule_cls.__name__} has no id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, importing the bundled rule modules on demand."""
+    from . import rules as _rules  # noqa: F401  (import populates the registry)
+
+    return [
+        _REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# walking and parsing
+# ---------------------------------------------------------------------- #
+def iter_python_files(roots: Sequence[Path]) -> Iterator[Path]:
+    """Every ``*.py`` file under the given files/directories, sorted."""
+    seen: Set[Path] = set()
+    for root in roots:
+        root = Path(root)
+        if root.is_file():
+            candidates: Iterable[Path] = [root] if root.suffix == ".py" else []
+        else:
+            candidates = sorted(root.rglob("*.py"))
+        for path in candidates:
+            if any(part in _SKIP_DIRS for part in path.parts):
+                continue
+            resolved = path.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield path
+
+
+def parse_module(path: Path, root: Path) -> ParsedModule:
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    try:
+        rel = path.resolve().relative_to(Path(root).resolve()).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    return ParsedModule(path=path, rel_path=rel, tree=tree, lines=source.splitlines())
+
+
+# ---------------------------------------------------------------------- #
+# suppressions
+# ---------------------------------------------------------------------- #
+def suppressed_rule_ids(module: ParsedModule, line: int) -> Set[str]:
+    """Rule ids allowed at ``line`` via inline ``# repro: allow[...]``.
+
+    The marker counts on the offending line itself or on the line directly
+    above it (a comment-only line), mirroring ``noqa``-style conventions.
+    """
+    ids: Set[str] = set()
+    for candidate in (line, line - 1):
+        match = _ALLOW_RE.search(module.line_text(candidate))
+        if match:
+            ids.update(part.strip() for part in match.group(1).split(","))
+    return ids
+
+
+def _is_suppressed(module: ParsedModule, finding: Finding) -> bool:
+    allowed = suppressed_rule_ids(module, finding.line)
+    return bool(allowed) and ("*" in allowed or finding.rule_id in allowed)
+
+
+# ---------------------------------------------------------------------- #
+# baseline (grandfathered findings)
+# ---------------------------------------------------------------------- #
+def load_baseline(path: Path) -> Dict[str, object]:
+    """The committed baseline document (``{"version": 1, "findings": []}``)."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(document, dict) or "findings" not in document:
+        raise ValueError(f"{path} is not a repro-lint baseline file")
+    return document
+
+
+def baseline_fingerprints(document: Mapping[str, object]) -> Set[str]:
+    entries = document.get("findings", [])
+    fingerprints: Set[str] = set()
+    if isinstance(entries, list):
+        for entry in entries:
+            if isinstance(entry, dict) and "fingerprint" in entry:
+                fingerprints.add(str(entry["fingerprint"]))
+    return fingerprints
+
+
+def write_baseline(path: Path, findings: Sequence[Finding], note: str = "") -> None:
+    """Write every finding as a grandfathered baseline entry.
+
+    Each entry carries a ``note`` field; the convention is a tracking note
+    saying why the finding is deferred and what would retire it.
+    """
+    document = {
+        "version": 1,
+        "findings": [
+            {
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "fingerprint": finding.fingerprint,
+                "note": note or "grandfathered; see INVARIANTS.md",
+            }
+            for finding in findings
+        ],
+    }
+    Path(path).write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+
+# ---------------------------------------------------------------------- #
+# the driver
+# ---------------------------------------------------------------------- #
+@dataclass
+class AnalysisResult:
+    """Everything one analysis run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: findings silenced by an inline allow, for ``--show-suppressed``
+    suppressed: List[Finding] = field(default_factory=list)
+    #: findings matched (and silenced) by the committed baseline
+    baselined: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+
+def run_analysis(
+    roots: Sequence[Path],
+    root: Optional[Path] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Mapping[str, object]] = None,
+    changed_lines: Optional[Mapping[str, Set[int]]] = None,
+) -> AnalysisResult:
+    """Run every rule over every Python file under ``roots``.
+
+    ``root`` anchors the relative paths rules scope on (defaults to the
+    common current directory).  ``changed_lines`` — a ``rel_path -> {line}``
+    map, see :mod:`repro.analysis.gitdiff` — restricts reported findings to
+    those lines (``--diff`` incremental mode); suppression and baseline
+    filtering still apply first, so diff mode never resurrects silenced
+    findings.
+    """
+    root = Path(root) if root is not None else Path.cwd()
+    active = list(rules) if rules is not None else all_rules()
+    known_fingerprints = (
+        baseline_fingerprints(baseline) if baseline is not None else set()
+    )
+    result = AnalysisResult()
+    for path in iter_python_files(roots):
+        try:
+            module = parse_module(path, root)
+        except (SyntaxError, UnicodeDecodeError) as error:
+            result.parse_errors.append(f"{path}: {error}")
+            continue
+        result.files_checked += 1
+        for rule in active:
+            if not rule.applies_to(module.rel_path):
+                continue
+            for finding in rule.check(module):
+                if _is_suppressed(module, finding):
+                    result.suppressed.append(finding)
+                elif finding.fingerprint in known_fingerprints:
+                    result.baselined.append(finding)
+                elif (
+                    changed_lines is not None
+                    and finding.line not in changed_lines.get(finding.path, set())
+                ):
+                    continue
+                else:
+                    result.findings.append(finding)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.rule_id))
+    return result

@@ -1,0 +1,58 @@
+"""Changed-line extraction for ``repro-lint --diff <ref>``.
+
+Incremental enforcement: restrict findings to lines the working tree changes
+relative to a git ref, so a PR is gated on *its own* lines without touching
+the committed baseline.  Parsing sticks to ``git diff --unified=0`` hunk
+headers — no third-party diff library, and rename detection is left to git.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+from pathlib import Path
+from typing import Dict, Set
+
+__all__ = ["changed_lines"]
+
+_HUNK_RE = re.compile(r"^@@ -\d+(?:,\d+)? \+(?P<start>\d+)(?:,(?P<count>\d+))? @@")
+_FILE_RE = re.compile(r"^\+\+\+ (?:b/)?(?P<path>.+)$")
+
+
+def parse_unified_diff(diff_text: str) -> Dict[str, Set[int]]:
+    """``path -> {added/modified line numbers}`` from a ``-U0`` unified diff."""
+    changed: Dict[str, Set[int]] = {}
+    current: Set[int] = set()
+    for line in diff_text.splitlines():
+        file_match = _FILE_RE.match(line)
+        if file_match:
+            path = file_match.group("path")
+            if path == "/dev/null":
+                current = set()
+                continue
+            current = changed.setdefault(path, set())
+            continue
+        hunk_match = _HUNK_RE.match(line)
+        if hunk_match:
+            start = int(hunk_match.group("start"))
+            count_text = hunk_match.group("count")
+            count = 1 if count_text is None else int(count_text)
+            current.update(range(start, start + count))
+    return {path: lines for path, lines in changed.items() if lines}
+
+
+def changed_lines(ref: str, root: Path) -> Dict[str, Set[int]]:
+    """Changed Python lines of the working tree relative to ``ref``.
+
+    Paths come back relative to ``root`` (the repository checkout the
+    analysis runs from), matching :class:`~repro.analysis.core.Finding`
+    paths.
+    """
+    completed = subprocess.run(
+        ["git", "diff", "--unified=0", "--no-color", ref, "--", "*.py"],
+        cwd=str(root),
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return parse_unified_diff(completed.stdout)

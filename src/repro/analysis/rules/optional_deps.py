@@ -1,0 +1,154 @@
+"""Optional-dependency rules (invariant I3, ``INVARIANTS.md``).
+
+Since PR 5 the repository runs on a bare interpreter: numpy and scipy are
+accelerators, never requirements, and a dedicated CI leg proves it
+dynamically.  This rule proves it statically: a module-level import of
+numpy/scipy must be wrapped in ``try: ... except ImportError:`` — and even
+guarded module-level imports are confined to the two allowlisted modules so
+the fallback seams stay auditable in one place.  Function-level imports must
+carry the same guard (or live in an allowlisted module whose callers are
+already gated, like the scipy fast path of ``network.indexed``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from ..core import Finding, ParsedModule, Rule, register
+
+#: Top-level package names the no-numpy CI leg runs without.
+OPTIONAL_PACKAGES = {"numpy", "scipy"}
+
+#: Modules allowed to import numpy/scipy at module level (behind a guard):
+#: the kernel pack and the generator RNG/triangulation fallback seams.
+MODULE_IMPORT_ALLOWLIST: Tuple[str, ...] = (
+    "src/repro/pir/kernels.py",
+    "src/repro/network/generators.py",
+)
+
+
+def _guard_catches_import_error(handler: ast.ExceptHandler) -> bool:
+    def names(node: Optional[ast.expr]) -> Iterator[str]:
+        if node is None:  # bare except
+            yield "ImportError"
+        elif isinstance(node, ast.Tuple):
+            for element in node.elts:
+                yield from names(element)
+        elif isinstance(node, ast.Name):
+            yield node.id
+        elif isinstance(node, ast.Attribute):
+            yield node.attr
+
+    return any(
+        name in {"ImportError", "ModuleNotFoundError", "Exception"}
+        for name in names(handler.type)
+    )
+
+
+def _optional_package(node: ast.stmt) -> Optional[str]:
+    """The optional top-level package an import statement pulls in, if any."""
+    if isinstance(node, ast.Import):
+        for name in node.names:
+            head = name.name.split(".")[0]
+            if head in OPTIONAL_PACKAGES:
+                return head
+    elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+        head = node.module.split(".")[0]
+        if head in OPTIONAL_PACKAGES:
+            return head
+    return None
+
+
+@register
+class OptionalDepsImportRule(Rule):
+    id = "optdeps-import"
+    family = "optional-deps"
+    description = (
+        "numpy/scipy imports that would break the bare-interpreter install: "
+        "unguarded anywhere, or module-level outside the allowlist"
+    )
+    hint = (
+        "numpy/scipy are optional (INVARIANTS.md I3); wrap the import in "
+        "try/except ImportError, and keep module-level imports inside the "
+        "allowlisted fallback seams (pir/kernels.py, network/generators.py)"
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        allowlisted = module.rel_path in MODULE_IMPORT_ALLOWLIST
+        yield from self._check_body(
+            module, module.tree.body, guarded=False, module_level=True,
+            allowlisted=allowlisted,
+        )
+
+    def _check_body(
+        self,
+        module: ParsedModule,
+        body: Iterator[ast.stmt],
+        guarded: bool,
+        module_level: bool,
+        allowlisted: bool,
+    ) -> Iterator[Finding]:
+        for node in body:
+            package = _optional_package(node)
+            if package is not None:
+                if not guarded:
+                    yield module.finding(
+                        self,
+                        node,
+                        f"unguarded import of optional dependency {package!r} "
+                        "(the no-numpy leg would fail here)",
+                    )
+                elif module_level and not allowlisted:
+                    yield module.finding(
+                        self,
+                        node,
+                        f"module-level {package!r} import outside the "
+                        "optional-deps allowlist",
+                    )
+            if isinstance(node, ast.Try):
+                try_guards = guarded or any(
+                    _guard_catches_import_error(handler)
+                    for handler in node.handlers
+                )
+                yield from self._check_body(
+                    module, node.body, try_guards, module_level, allowlisted
+                )
+                for handler in node.handlers:
+                    yield from self._check_body(
+                        module, handler.body, guarded, module_level, allowlisted
+                    )
+                yield from self._check_body(
+                    module, node.orelse, guarded, module_level, allowlisted
+                )
+                yield from self._check_body(
+                    module, node.finalbody, guarded, module_level, allowlisted
+                )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_body(
+                    module, node.body, guarded, False, allowlisted
+                )
+            elif isinstance(node, ast.ClassDef):
+                yield from self._check_body(
+                    module, node.body, guarded, module_level, allowlisted
+                )
+            elif isinstance(node, (ast.If, ast.For, ast.While, ast.With)):
+                # ``if TYPE_CHECKING:`` imports never execute at runtime, so
+                # they are fully exempt (guarded, and not "module-level")
+                type_checking = isinstance(node, ast.If) and any(
+                    isinstance(sub, (ast.Name, ast.Attribute))
+                    and (getattr(sub, "id", None) == "TYPE_CHECKING"
+                         or getattr(sub, "attr", None) == "TYPE_CHECKING")
+                    for sub in ast.walk(node.test)
+                )
+                for sub_body in (
+                    node.body,
+                    node.orelse if hasattr(node, "orelse") else [],
+                ):
+                    yield from self._check_body(
+                        module,
+                        sub_body,
+                        guarded or type_checking,
+                        module_level and not type_checking,
+                        allowlisted,
+                    )

@@ -1,0 +1,207 @@
+"""Privacy-taint rules (invariant I1, ``INVARIANTS.md``).
+
+The paper's core guarantee: the adversary sees PIR retrievals, never query
+plaintext.  These rules track the *syntactic* shadow of that guarantee —
+values whose names mark them as query-derived (source/target node ids, the
+queried region pair, prepared-query internals) must not flow into
+operator-visible sinks (``print``, ``logging``, exception messages), and the
+adversary-view log ``queries_seen`` may only be written behind the sanctioned
+``log_queries`` opt-in seam.
+
+Name-based taint is deliberately heuristic: it costs near-zero review
+overhead and the dynamic privacy tests (``tests/privacy/``, adversary-view
+parity in the property suite) remain the sound backstop.  Scope: the
+query-processing surface — ``src/repro/engine/``, ``src/repro/schemes/``,
+``src/repro/pir/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set, Tuple
+
+from ..core import Finding, ParsedModule, Rule, register
+from .common import dotted_name, walk_scope
+
+#: The query-processing surface the taint rules watch.
+PRIVACY_SCOPE: Tuple[str, ...] = (
+    "src/repro/engine/",
+    "src/repro/schemes/",
+    "src/repro/pir/",
+)
+
+#: Identifiers treated as query-derived (the query plaintext and its direct
+#: derivatives: endpoints, the region pair, prepared-query state).
+TAINTED_NAMES = {
+    "source", "target", "source_id", "target_id", "source_node", "target_node",
+    "source_region", "target_region", "query", "prepared", "prepared_query",
+    "pair", "plaintext",
+}
+
+#: Attribute accesses treated as query-derived wherever they appear
+#: (``result.query``, ``prepared.source``, ...).
+TAINTED_ATTRS = {"source", "target", "query", "pair", "prepared"}
+
+#: Operator/server-visible sinks: resolved dotted prefixes of calls whose
+#: arguments must stay plaintext-free.
+_SINK_PREFIXES = ("logging.", "logger.", "log.", "warnings.warn",
+                  "sys.stdout.", "sys.stderr.")
+
+
+def _in_scope(rel_path: str) -> bool:
+    return any(rel_path.startswith(prefix) for prefix in PRIVACY_SCOPE)
+
+
+def _tainted_subnode(node: ast.AST) -> Optional[str]:
+    """The first query-derived reference inside ``node``, if any."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and child.id in TAINTED_NAMES:
+            return child.id
+        if isinstance(child, ast.Attribute) and child.attr in TAINTED_ATTRS:
+            # ``self.log_queries`` and friends are config, not plaintext
+            dotted = dotted_name(child)
+            if dotted is not None:
+                return dotted
+            return child.attr
+    return None
+
+
+def _is_sink_call(call: ast.Call) -> bool:
+    if isinstance(call.func, ast.Name) and call.func.id == "print":
+        return True
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return False
+    return any(
+        dotted == prefix.rstrip(".") or dotted.startswith(prefix)
+        for prefix in _SINK_PREFIXES
+    )
+
+
+def _formats_values(node: ast.AST) -> bool:
+    """Whether an exception-argument expression interpolates runtime values."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.JoinedStr):
+            return True
+        if isinstance(child, ast.Call) and isinstance(child.func, ast.Attribute):
+            if child.func.attr == "format":
+                return True
+        if isinstance(child, ast.BinOp) and isinstance(child.op, (ast.Mod, ast.Add)):
+            return True
+    return False
+
+
+@register
+class PrivacyTaintRule(Rule):
+    id = "privacy-taint"
+    family = "privacy"
+    description = (
+        "query-derived values (source/target/query/pair/prepared) flowing "
+        "into print/logging/exception messages on the query path"
+    )
+    hint = (
+        "the adversary may see retrievals, never query plaintext "
+        "(INVARIANTS.md I1); drop the value from the message, or record it "
+        "behind the opt-in log_queries seam"
+    )
+
+    def applies_to(self, rel_path: str) -> bool:
+        return _in_scope(rel_path)
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and _is_sink_call(node):
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    tainted = _tainted_subnode(arg)
+                    if tainted is not None:
+                        yield module.finding(
+                            self,
+                            node,
+                            f"query-derived value {tainted!r} reaches an "
+                            "operator-visible sink",
+                        )
+                        break
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                exc = node.exc
+                args = exc.args if isinstance(exc, ast.Call) else [exc]
+                for arg in args:
+                    if not _formats_values(arg):
+                        continue
+                    tainted = _tainted_subnode(arg)
+                    if tainted is not None:
+                        yield module.finding(
+                            self,
+                            node,
+                            f"query-derived value {tainted!r} is interpolated "
+                            "into an exception message (exceptions end up in "
+                            "server/operator logs)",
+                        )
+                        break
+
+
+@register
+class QueriesSeenRule(Rule):
+    id = "privacy-queries-seen"
+    family = "privacy"
+    description = (
+        "writes to the adversary-view log queries_seen outside the "
+        "sanctioned log_queries opt-in guard"
+    )
+    hint = (
+        "queries_seen is the *opt-in* adversary view (INVARIANTS.md I1); "
+        "guard the append with `if self.log_queries:` (or the equivalent "
+        "conditional) so production serving never accumulates it"
+    )
+
+    _WRITE_METHODS = {"append", "extend", "insert", "__iadd__"}
+
+    def applies_to(self, rel_path: str) -> bool:
+        return _in_scope(rel_path)
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        yield from self._visit(module, module.tree, guarded=False)
+
+    def _mentions_log_queries(self, node: ast.AST) -> bool:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Name) and child.id == "log_queries":
+                return True
+            if isinstance(child, ast.Attribute) and child.attr == "log_queries":
+                return True
+        return False
+
+    def _is_queries_seen_write(self, node: ast.AST) -> Optional[ast.AST]:
+        """The offending node when ``node`` writes to ``*.queries_seen``."""
+        # method writes: <...>.queries_seen.append(...) / a bound reference
+        # to the method (``log = self.queries_seen.append``)
+        if isinstance(node, ast.Attribute) and node.attr in self._WRITE_METHODS:
+            target = node.value
+            if isinstance(target, ast.Attribute) and target.attr == "queries_seen":
+                return node
+            if isinstance(target, ast.Name) and target.id == "queries_seen":
+                return node
+        # augmented assignment: self.queries_seen += [...]
+        if isinstance(node, ast.AugAssign):
+            target = node.target
+            if isinstance(target, ast.Attribute) and target.attr == "queries_seen":
+                return node
+        return None
+
+    def _visit(
+        self, module: ParsedModule, node: ast.AST, guarded: bool
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            child_guarded = guarded
+            if isinstance(child, ast.If) and self._mentions_log_queries(child.test):
+                child_guarded = True
+            if isinstance(child, ast.IfExp) and self._mentions_log_queries(
+                child.test
+            ):
+                child_guarded = True
+            offending = None if child_guarded else self._is_queries_seen_write(child)
+            if offending is not None:
+                yield module.finding(
+                    self,
+                    offending,
+                    "queries_seen is written outside a log_queries guard",
+                )
+            yield from self._visit(module, child, child_guarded)

@@ -1,0 +1,182 @@
+"""Resource-hygiene rule (supporting the out-of-core storage invariants).
+
+Page stores own real OS resources — mmap handles, SQLite connections, file
+descriptors.  A store acquired in library, example or benchmark code and
+closed only on the success path leaks those resources the moment an assert
+or exception fires between acquisition and ``close()`` — which on the
+store-backend CI matrix turns into flaky cross-test failures.  The rule
+demands ``with``/``contextlib.closing``/``try-finally`` around every
+acquisition whose result does not escape the function (returned, yielded,
+stored on an object, or handed to another constructor — those transfers move
+the close obligation to the new owner).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from ..core import Finding, ParsedModule, Rule, register
+from .common import dotted_name, iter_scopes, walk_scope
+
+#: Calls that hand back a resource the caller must close.
+ACQUIRING_CALLS = {
+    "open_page_store",
+    "PageFile",
+    "stream_node_database",
+    "load_database",
+    "clone_database",
+}
+
+
+def _acquired_name(node: ast.AST) -> Optional[str]:
+    """The called acquirer name when ``node`` is an acquiring call."""
+    if not isinstance(node, ast.Call):
+        return None
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return None
+    tail = dotted.split(".")[-1]
+    return tail if tail in ACQUIRING_CALLS else None
+
+
+class _Acquisition:
+    def __init__(self, var: str, node: ast.stmt, acquirer: str) -> None:
+        self.var = var
+        self.node = node
+        self.acquirer = acquirer
+
+
+@register
+class UnclosedStoreRule(Rule):
+    id = "res-unclosed-store"
+    family = "resources"
+    description = (
+        "page stores / page files / streamed databases acquired without "
+        "close() on all paths (with/closing/try-finally)"
+    )
+    hint = (
+        "close the store on every path (INVARIANTS.md, resource hygiene): "
+        "`with contextlib.closing(open_page_store(...)) as store:` or a "
+        "try/finally around the use"
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for scope, _body in iter_scopes(module.tree):
+            yield from self._check_scope(module, scope)
+
+    # ------------------------------------------------------------------ #
+    def _check_scope(self, module: ParsedModule, scope: ast.AST) -> Iterator[Finding]:
+        acquisitions: List[_Acquisition] = []
+        for node in walk_scope(scope):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                acquirer = _acquired_name(node.value)
+                if acquirer is not None and isinstance(target, ast.Name):
+                    acquisitions.append(_Acquisition(target.id, node, acquirer))
+            elif isinstance(node, ast.With):
+                # `with open_page_store(...) as store:` and
+                # `with closing(acquire(...)) as store:` are exactly right
+                continue
+        if not acquisitions:
+            return
+        with_managed = self._with_managed_names(scope)
+        escaped = self._escaped_names(scope)
+        finally_closed = self._closed_names(scope, finally_only=True)
+        closed_somewhere = self._closed_names(scope, finally_only=False)
+        for acquisition in acquisitions:
+            var = acquisition.var
+            if var in with_managed or var in escaped:
+                continue
+            if var in finally_closed:
+                continue
+            if var in closed_somewhere:
+                yield module.finding(
+                    self,
+                    acquisition.node,
+                    f"{acquisition.acquirer}(...) result {var!r} is closed "
+                    "only on the success path (an exception in between leaks "
+                    "the handle)",
+                )
+            else:
+                yield module.finding(
+                    self,
+                    acquisition.node,
+                    f"{acquisition.acquirer}(...) result {var!r} is never "
+                    "closed in this scope",
+                )
+
+    def _with_managed_names(self, scope: ast.AST) -> Set[str]:
+        """Names whose lifetime a ``with`` block manages in this scope."""
+        managed: Set[str] = set()
+        for node in walk_scope(scope):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            for item in node.items:
+                expr = item.context_expr
+                # with closing(store) / with closing(acquire(...)) as store
+                for child in ast.walk(expr):
+                    if isinstance(child, ast.Name):
+                        managed.add(child.id)
+                if item.optional_vars is not None and isinstance(
+                    item.optional_vars, ast.Name
+                ):
+                    managed.add(item.optional_vars.id)
+        return managed
+
+    def _escaped_names(self, scope: ast.AST) -> Set[str]:
+        """Names whose close obligation is transferred elsewhere."""
+        escaped: Set[str] = set()
+        for node in walk_scope(scope):
+            if isinstance(node, ast.Return) and node.value is not None:
+                escaped.update(self._direct_names(node.value))
+            elif isinstance(node, (ast.Yield, ast.YieldFrom)) and node.value is not None:
+                escaped.update(self._direct_names(node.value))
+            elif isinstance(node, ast.Call):
+                # passed into another constructor/function as a whole value
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    if isinstance(arg, ast.Name):
+                        escaped.add(arg.id)
+            elif isinstance(node, ast.Assign):
+                # stored onto an object / into a container, or re-aliased
+                if any(
+                    isinstance(t, (ast.Attribute, ast.Subscript))
+                    for t in node.targets
+                ):
+                    escaped.update(self._direct_names(node.value))
+            elif isinstance(node, (ast.List, ast.Tuple, ast.Dict, ast.Set)):
+                for element in ast.iter_child_nodes(node):
+                    if isinstance(element, ast.Name):
+                        escaped.add(element.id)
+        return escaped
+
+    @staticmethod
+    def _direct_names(node: ast.AST) -> Set[str]:
+        if isinstance(node, ast.Name):
+            return {node.id}
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return {e.id for e in node.elts if isinstance(e, ast.Name)}
+        return set()
+
+    def _closed_names(self, scope: ast.AST, finally_only: bool) -> Set[str]:
+        """Names with a ``name.close()`` call (optionally: inside a finally)."""
+        closed: Set[str] = set()
+        if finally_only:
+            nodes: List[ast.AST] = []
+            for node in walk_scope(scope):
+                if isinstance(node, ast.Try):
+                    nodes.extend(node.finalbody)
+            search: List[ast.AST] = []
+            for node in nodes:
+                search.extend(ast.walk(node))
+        else:
+            search = list(walk_scope(scope))
+        for node in search:
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "close"
+                and isinstance(node.func.value, ast.Name)
+            ):
+                closed.add(node.func.value.id)
+        return closed

@@ -39,17 +39,33 @@ protocol and by every worker context of the query engine.
 from __future__ import annotations
 
 import os
+import random
 import threading
 import weakref
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..exceptions import PirError
 from .batch import mask_indices, random_subset_masks, validate_subset_mask
 
+if TYPE_CHECKING:
+    from ..storage.pagefile import PageFile
+
 try:  # numpy is optional: the big-int oracle serves when it is absent
     import numpy as _np
 except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
-    _np = None
+    _np = None  # type: ignore[assignment]
 
 #: Environment variable naming the default kernel (CI legs force it).
 ENV_PIR_KERNEL = "REPRO_PIR_KERNEL"
@@ -156,7 +172,7 @@ class PackedDatabase:
     #: Temporary-gather budget per ``answer_rows`` chunk.
     CHUNK_BYTES = 8 * 1024 * 1024
 
-    def __init__(self, rows, block_size: int) -> None:
+    def __init__(self, rows: Any, block_size: int) -> None:
         if _np is None:  # pragma: no cover - guarded by resolve_kernel
             raise PirError("the numpy PIR kernel requires numpy")
         if rows.ndim != 2 or rows.dtype != _np.uint64 or rows.shape[0] < 1:
@@ -214,8 +230,8 @@ class PackedDatabase:
         """Pre-compute per-group XOR combination tables (adaptive width)."""
         np = _np
         n, words = self.num_blocks, self.words
-        self._group_bits = None
-        self._tables = None
+        self._group_bits: Optional[int] = None
+        self._tables: Any = None
         for bits in (8, 4, 2):
             groups = -(-n // bits)
             if groups * (1 << bits) * words * 8 <= self.MAX_TABLE_BYTES:
@@ -238,15 +254,15 @@ class PackedDatabase:
     @property
     def nbytes(self) -> int:
         """Resident bytes of the packed image plus its group tables."""
-        total = self._rows.nbytes
+        total = int(self._rows.nbytes)
         if self._tables is not None:
-            total += self._tables.nbytes
+            total += int(self._tables.nbytes)
         return total
 
     # ------------------------------------------------------------------ #
     # answering
     # ------------------------------------------------------------------ #
-    def _mask_matrix(self, masks: Sequence[int]):
+    def _mask_matrix(self, masks: Sequence[int]) -> Any:
         """The masks as a ``(B, mask_bytes)`` little-endian uint8 matrix."""
         np = _np
         size = self._mask_bytes
@@ -256,7 +272,7 @@ class PackedDatabase:
         )
         return np.frombuffer(buffer, dtype=np.uint8).reshape(len(masks), size)
 
-    def _digits(self, mask_matrix):
+    def _digits(self, mask_matrix: Any) -> Any:
         """Per-(mask, group) table indices from the packed mask bytes."""
         np = _np
         bits = self._group_bits
@@ -273,7 +289,7 @@ class PackedDatabase:
     #: amortized over the batch, and it never builds the (B, G, W) temp).
     GROUP_LOOP_MIN_BATCH = 64
 
-    def answer_rows(self, masks: Sequence[int]):
+    def answer_rows(self, masks: Sequence[int]) -> Any:
         """Answers for a batch of masks as a ``(B, words)`` uint64 array.
 
         This is the whole server hot path, with no per-mask Python work:
@@ -315,7 +331,7 @@ class PackedDatabase:
                 np.bitwise_xor.reduce(selected, axis=0, out=out[position])
         return out
 
-    def rows_to_blocks(self, rows) -> List[bytes]:
+    def rows_to_blocks(self, rows: Any) -> List[bytes]:
         """Slice a ``(B, words)`` answer array into per-answer block bytes.
 
         One flat :class:`memoryview` over the array feeds every slice — no
@@ -336,7 +352,7 @@ class PackedDatabase:
         out = np.zeros(self.words, dtype=np.uint64)
         if index_array.shape[0]:
             np.bitwise_xor.reduce(self._rows[index_array], axis=0, out=out)
-        return out.tobytes()[: self.block_size]
+        return bytes(out.tobytes()[: self.block_size])
 
     def answer_mask(self, mask: int) -> bytes:
         return self.rows_to_blocks(self.answer_rows([mask]))[0]
@@ -349,7 +365,7 @@ class PackedDatabase:
 ServerKernel = Union[BigIntKernel, PackedDatabase]
 
 
-def is_kernel(obj) -> bool:
+def is_kernel(obj: object) -> bool:
     """Whether ``obj`` is a prebuilt server kernel (vs. a block sequence)."""
     return isinstance(obj, (BigIntKernel, PackedDatabase))
 
@@ -364,7 +380,9 @@ def make_kernel(blocks: Sequence[bytes], kernel: Optional[str] = None) -> Server
 # ---------------------------------------------------------------------- #
 # packing off the storage layer
 # ---------------------------------------------------------------------- #
-def _page_fetcher(page_file, page_numbers: Optional[Sequence[int]]) -> BlockFetcher:
+def _page_fetcher(
+    page_file: "PageFile", page_numbers: Optional[Sequence[int]]
+) -> BlockFetcher:
     """A fetcher over a :class:`~repro.storage.pagefile.PageFile`.
 
     Prefers the backing store's zero-copy ``get_page_view`` (the mmap
@@ -373,28 +391,29 @@ def _page_fetcher(page_file, page_numbers: Optional[Sequence[int]]) -> BlockFetc
     live tail page.
     """
     store = page_file.store
-    translate = (
-        (lambda numbers: numbers)
-        if page_numbers is None
-        else (lambda numbers: [page_numbers[n] for n in numbers])
-    )
+
+    def translate(numbers: Sequence[int]) -> Sequence[int]:
+        if page_numbers is None:
+            return numbers
+        return [page_numbers[n] for n in numbers]
+
     get_view = getattr(store, "get_page_view", None)
     if get_view is not None and page_file._tail is None:
         store.flush()
 
-        def fetch_views(numbers: Sequence[int]):
+        def fetch_views(numbers: Sequence[int]) -> Sequence[Union[bytes, memoryview]]:
             return [get_view(number) for number in translate(numbers)]
 
         return fetch_views
 
-    def fetch_batch(numbers: Sequence[int]):
+    def fetch_batch(numbers: Sequence[int]) -> Sequence[Union[bytes, memoryview]]:
         return page_file.read_pages_batch(translate(numbers))
 
     return fetch_batch
 
 
 def kernel_from_pages(
-    page_file,
+    page_file: "PageFile",
     page_numbers: Optional[Sequence[int]] = None,
     kernel: Optional[str] = None,
 ) -> ServerKernel:
@@ -409,15 +428,17 @@ def kernel_from_pages(
 
 #: store -> {(kernel, file name, num pages, extra key) -> kernel object}.
 #: Weakly keyed so closing/dropping a store releases its packed image.
-_SHARED_KERNELS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_SHARED_KERNELS: "weakref.WeakKeyDictionary[object, Dict[Tuple[object, ...], ServerKernel]]" = (
+    weakref.WeakKeyDictionary()
+)
 _SHARED_KERNELS_LOCK = threading.Lock()
 
 
 def shared_kernel(
-    page_file,
+    page_file: "PageFile",
     page_numbers: Optional[Sequence[int]] = None,
     kernel: Optional[str] = None,
-    cache_key: Tuple = (),
+    cache_key: Tuple[object, ...] = (),
 ) -> ServerKernel:
     """The memoised packed kernel for a page file (or page subset).
 
@@ -449,9 +470,9 @@ def shared_kernel(
 # ---------------------------------------------------------------------- #
 def oblivious_read_many(
     kernel: ServerKernel,
-    rng,
+    rng: random.Random,
     indices: Sequence[int],
-    log: Optional[Callable[[frozenset], None]] = None,
+    log: Optional[Callable[[FrozenSet[int]], None]] = None,
 ) -> List[bytes]:
     """Serve block reads through a two-server XOR retrieval over ``kernel``.
 

@@ -21,10 +21,10 @@ from typing import Optional, Tuple
 
 from ..exceptions import PirError
 
-_SMALL_PRIMES = [
+_SMALL_PRIMES = (
     2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
     71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113,
-]
+)
 
 
 def _is_probable_prime(candidate: int, rounds: int = 20) -> bool:

@@ -57,7 +57,9 @@ def _build_csr(
     for payload in joined:
         builder.add_payload(decode_region_bytes(payload))
     if entry is not None:
-        builder.add_edges(entry.edges)
+        # entry.edges is a frozenset; fix the insertion order so the CSR
+        # adjacency layout is identical on every run and worker (I2)
+        builder.add_edges(sorted(entry.edges))
     return builder.build()
 
 
@@ -126,7 +128,7 @@ def assemble_passage_csr(
     if entry is None:
         entry = decode_index_entry(index_pages, pair)
     if entry is None or entry.edges is None:
-        raise SchemeError(f"missing passage-subgraph entry for pair {pair}")
+        raise SchemeError("missing passage-subgraph entry for queried pair")
     csr = _build_csr(joined, entry)
     if cache is not None:
         cache.put(key, csr)
@@ -185,7 +187,7 @@ def subgraph_from_entry(entry: IndexEntry, region_payloads) -> RoadNetwork:
     graph = merge_region_payloads(region_payloads)
     if entry.edges is None:
         raise SchemeError("expected a passage-subgraph entry")
-    for source, target, weight in entry.edges:
+    for source, target, weight in sorted(entry.edges):
         if source not in graph:
             graph.add_node(source, 0.0, 0.0)
             graph.heuristic_safe = False
@@ -213,6 +215,6 @@ def reference_passage_graph(
     if entry is None:
         entry = decode_index_entry(index_pages, pair)
     if entry is None or entry.edges is None:
-        raise SchemeError(f"missing passage-subgraph entry for pair {pair}")
+        raise SchemeError("missing passage-subgraph entry for queried pair")
     decoded = [decode_region_bytes(b"".join(pages)) for pages in payload_groups]
     return subgraph_from_entry(entry, decoded)

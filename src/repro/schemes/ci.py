@@ -206,9 +206,7 @@ class ConciseIndexScheme(Scheme):
         with timer:
             entry = decode_index_entry(fetched_index, (source_region, target_region))
             if entry is None or entry.regions is None:
-                raise SchemeError(
-                    f"missing region-set entry for pair ({source_region}, {target_region})"
-                )
+                raise SchemeError("missing region-set entry for queried pair")
             regions_to_fetch = sorted(set(entry.regions) | {source_region, target_region})
 
         # round 4: region data pages, padded to m + 2

@@ -124,14 +124,14 @@ class HybridScheme(Scheme):
         subgraph_edges: Dict[RegionPair, FrozenSet[Tuple[int, int]]] = {}
         if replaced:
             if passage_subgraphs is not None:
-                missing = [pair for pair in replaced if pair not in passage_subgraphs]
+                missing = [pair for pair in sorted(replaced) if pair not in passage_subgraphs]
                 if missing:
                     raise SchemeError(
                         f"passage subgraphs missing for {len(missing)} replaced pairs"
                     )
                 subgraph_edges = {
                     pair: frozenset(tuple(edge) for edge in passage_subgraphs[pair])
-                    for pair in replaced
+                    for pair in sorted(replaced)
                 }
             else:
                 extra = compute_border_products(
@@ -143,7 +143,7 @@ class HybridScheme(Scheme):
                     subgraph_pairs=replaced,
                 )
                 subgraph_edges = {
-                    pair: extra.passage_subgraph(*pair) for pair in replaced
+                    pair: extra.passage_subgraph(*pair) for pair in sorted(replaced)
                 }
 
         weights = {(edge.source, edge.target): edge.weight for edge in network.edges()}
@@ -157,8 +157,10 @@ class HybridScheme(Scheme):
             for region_j in range(num_regions):
                 pair = (region_i, region_j)
                 if pair in replaced:
+                    # frozenset iteration would randomise the on-page edge
+                    # layout across runs; sort for a reproducible image (I2)
                     weighted = [
-                        (u, v, weights[(u, v)]) for u, v in subgraph_edges[pair]
+                        (u, v, weights[(u, v)]) for u, v in sorted(subgraph_edges[pair])
                     ]
                     builder.add_subgraph(region_i, region_j, weighted)
                 else:

@@ -66,7 +66,9 @@ PathLike = Union[str, Path]
 
 #: Context-scoped ``(backend, directory)`` default installed by
 #: :func:`store_backend_scope` (None = fall back to the environment).
-_store_options_var: ContextVar = ContextVar("repro_store_options", default=None)
+_store_options_var: ContextVar[Optional[Tuple[str, Optional[PathLike]]]] = ContextVar(
+    "repro_store_options", default=None
+)
 
 
 def _normalize_backend(backend: str) -> str:
@@ -79,7 +81,9 @@ def _normalize_backend(backend: str) -> str:
 
 
 @contextmanager
-def store_backend_scope(backend: str, directory: Optional[PathLike] = None):
+def store_backend_scope(
+    backend: str, directory: Optional[PathLike] = None
+) -> Iterator[None]:
     """Make ``backend`` the default page-store backend inside the block.
 
     Every :class:`~repro.storage.database.Database` created in the dynamic
@@ -139,7 +143,7 @@ class PageStore(abc.ABC):
             raise StorageError(f"page size must be positive, got {page_size}")
         self.page_size = page_size
         #: page number -> {resolver: resolved value} (see :meth:`resolve`).
-        self._resolve_cache: Dict[int, Dict[Callable, object]] = {}
+        self._resolve_cache: Dict[int, Dict[Callable[[bytes], object], object]] = {}
 
     # ------------------------------------------------------------------ #
     # required backend primitives
@@ -329,7 +333,7 @@ class MmapPageStore(PageStore):
             self._file.write(self._HEADER.pack(self.MAGIC, page_size))
             self._file.flush()
             self._num_flushed = 0
-            self._payload_total = 0
+            self._payload_total: Optional[int] = 0
         else:
             if not self.path.exists():
                 raise StorageError(f"no mmap page store at {self.path}")
@@ -368,13 +372,13 @@ class MmapPageStore(PageStore):
 
     @property
     def payload_bytes(self) -> int:
-        if self._payload_total is None:
+        total = self._payload_total
+        if total is None:
             self._ensure_flushed()
-            self._payload_total = sum(
-                self._used_at(n) for n in range(self._num_flushed)
-            )
+            total = sum(self._used_at(n) for n in range(self._num_flushed))
+            self._payload_total = total
             self._drop_residency()
-        return self._payload_total
+        return total
 
     def _drop_residency(self) -> None:
         """Tell the kernel the mapped pages are disposable again.
@@ -403,7 +407,9 @@ class MmapPageStore(PageStore):
             self.flush()
 
     def _used_at(self, page_number: int) -> int:
-        return self._USED.unpack_from(self._mapping(), self._offset(page_number))[0]
+        return int(
+            self._USED.unpack_from(self._mapping(), self._offset(page_number))[0]
+        )
 
     def get_payload(self, page_number: int) -> bytes:
         self._check_range(page_number)

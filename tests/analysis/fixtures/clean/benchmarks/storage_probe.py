@@ -1,0 +1,24 @@
+"""Clean fixture: every acquired store is closed on all paths (or escapes)."""
+
+from contextlib import closing
+
+from repro.storage import open_page_store
+
+
+def count_pages(directory):
+    with closing(open_page_store("sqlite", "data", directory=directory)) as store:
+        return store.num_pages
+
+
+def verify_pages(directory, expected):
+    store = open_page_store("sqlite", "data", directory=directory)
+    try:
+        assert store.num_pages == expected
+    finally:
+        store.close()
+
+
+def acquire(directory):
+    # ownership transfer: the caller closes
+    store = open_page_store("sqlite", "data", directory=directory)
+    return store

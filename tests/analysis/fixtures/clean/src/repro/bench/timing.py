@@ -1,0 +1,7 @@
+"""Clean fixture: wall-clock use outside the bit-identity surface is fine."""
+
+import time
+
+
+def timestamp():
+    return time.time()

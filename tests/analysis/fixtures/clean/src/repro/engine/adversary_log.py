@@ -1,0 +1,15 @@
+"""Clean fixture: adversary-view writes behind the log_queries opt-in."""
+
+
+class Tracker:
+    def __init__(self, log_queries=False):
+        self.log_queries = log_queries
+        self.queries_seen = []
+
+    def record(self, pair):
+        if self.log_queries:
+            self.queries_seen.append(pair)
+
+    def recorder(self, log_queries):
+        # the bound-method seam used by the sharded engine
+        return self.queries_seen.append if log_queries else None

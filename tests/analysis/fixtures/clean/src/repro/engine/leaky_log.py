@@ -1,0 +1,9 @@
+"""Clean fixture: messages carry no query plaintext."""
+
+
+def announce(results):
+    print("served", len(results), "queries")
+
+
+def fail():
+    raise KeyError("missing passage-subgraph entry for queried pair")

@@ -1,0 +1,9 @@
+"""Clean fixture: seeded random.Random instances are sanctioned."""
+
+import random
+
+
+def jitter(pages, seed):
+    rng = random.Random(seed)
+    rng.shuffle(pages)
+    return pages

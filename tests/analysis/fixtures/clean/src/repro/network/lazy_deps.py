@@ -1,0 +1,14 @@
+"""Clean fixture: guarded function-level optional imports."""
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    import numpy
+
+
+def sparse_solver():
+    try:
+        from scipy.sparse import csgraph
+    except ImportError:
+        return None
+    return csgraph

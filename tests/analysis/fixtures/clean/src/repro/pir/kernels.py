@@ -1,0 +1,10 @@
+"""Clean fixture: the allowlisted guarded module-level numpy seam."""
+
+try:
+    import numpy as _np
+except ImportError:
+    _np = None
+
+
+def have_numpy():
+    return _np is not None

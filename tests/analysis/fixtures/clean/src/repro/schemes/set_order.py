@@ -1,0 +1,19 @@
+"""Clean fixture: sorted() fences every set iteration."""
+
+
+def adjacency(entry):
+    return [edge for edge in sorted(entry.edges)]
+
+
+def page_order(source_region, target_region, entry):
+    wanted = {3, 1, 2}
+    order = []
+    for region in sorted(wanted):
+        order.append(region)
+    # a set comprehension feeding an order-free consumer directly is fine
+    return sorted(set(order) | {source_region, target_region})
+
+
+def span(entry):
+    # order-free reductions over a frozenset attribute are fine
+    return len(entry.edges), min(entry.regions)

@@ -1,0 +1,14 @@
+"""Firing fixture: page stores left open."""
+
+from repro.storage import open_page_store
+
+
+def count_pages(directory):
+    store = open_page_store("sqlite", "data", directory=directory)
+    return store.num_pages
+
+
+def verify_pages(directory, expected):
+    store = open_page_store("sqlite", "data", directory=directory)
+    assert store.num_pages == expected
+    store.close()

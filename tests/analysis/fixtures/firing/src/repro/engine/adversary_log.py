@@ -1,0 +1,9 @@
+"""Firing fixture: unguarded adversary-view writes."""
+
+
+class Tracker:
+    def __init__(self):
+        self.queries_seen = []
+
+    def record(self, pair):
+        self.queries_seen.append(pair)

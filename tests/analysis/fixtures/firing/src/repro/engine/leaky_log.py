@@ -1,0 +1,9 @@
+"""Firing fixture: query plaintext reaching operator-visible sinks."""
+
+
+def announce(source, target):
+    print("serving", source, "->", target)
+
+
+def fail(pair):
+    raise KeyError(f"no entry for pair {pair}")

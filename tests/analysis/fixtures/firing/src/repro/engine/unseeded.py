@@ -1,0 +1,8 @@
+"""Firing fixture: process-global RNG draws."""
+
+import random
+
+
+def jitter(pages):
+    random.shuffle(pages)
+    return pages

@@ -1,0 +1,8 @@
+"""Firing fixture: wall-clock reads on the bit-identity surface."""
+
+import time
+
+
+def stamp_batch(batch):
+    batch.started_at = time.time()
+    return batch

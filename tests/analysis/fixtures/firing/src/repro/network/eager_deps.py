@@ -1,0 +1,8 @@
+"""Firing fixture: optional-dependency imports."""
+
+import numpy
+
+try:
+    import scipy.sparse
+except ImportError:
+    scipy = None

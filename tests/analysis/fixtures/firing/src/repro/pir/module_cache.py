@@ -1,0 +1,8 @@
+"""Firing fixture: unguarded mutable module state in pir."""
+
+_CACHE = {}
+
+
+def remember(key, value):
+    global _CACHE
+    _CACHE = dict(_CACHE, **{key: value})

@@ -1,0 +1,13 @@
+"""Firing fixture: set iteration into ordering-sensitive positions."""
+
+
+def adjacency(entry):
+    return [edge for edge in entry.edges]
+
+
+def page_order():
+    wanted = {3, 1, 2}
+    order = []
+    for region in wanted:
+        order.append(region)
+    return order

@@ -1,0 +1,131 @@
+"""Core machinery tests: suppressions, baseline, fingerprints, the walker."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import Finding, run_analysis
+from repro.analysis.core import (
+    baseline_fingerprints,
+    iter_python_files,
+    load_baseline,
+    write_baseline,
+)
+
+VIOLATION = "import time\n\n\ndef stamp():\n    return time.time()\n"
+
+
+def _engine_file(tmp_path: Path, text: str) -> Path:
+    target = tmp_path / "src" / "repro" / "engine"
+    target.mkdir(parents=True, exist_ok=True)
+    path = target / "mod.py"
+    path.write_text(text)
+    return path
+
+
+def test_violation_fires_without_suppression(tmp_path):
+    _engine_file(tmp_path, VIOLATION)
+    result = run_analysis([tmp_path], root=tmp_path)
+    assert [(f.rule_id, f.line) for f in result.findings] == [("det-wallclock", 5)]
+
+
+def test_inline_allow_on_the_offending_line(tmp_path):
+    _engine_file(
+        tmp_path,
+        "import time\n\n\ndef stamp():\n"
+        "    return time.time()  # repro: allow[det-wallclock]\n",
+    )
+    result = run_analysis([tmp_path], root=tmp_path)
+    assert result.findings == []
+    assert [f.rule_id for f in result.suppressed] == ["det-wallclock"]
+
+
+def test_inline_allow_on_the_line_above(tmp_path):
+    _engine_file(
+        tmp_path,
+        "import time\n\n\ndef stamp():\n"
+        "    # repro: allow[det-wallclock]\n"
+        "    return time.time()\n",
+    )
+    result = run_analysis([tmp_path], root=tmp_path)
+    assert result.findings == []
+    assert len(result.suppressed) == 1
+
+
+def test_wildcard_allow_and_unrelated_allow(tmp_path):
+    _engine_file(
+        tmp_path,
+        "import time\n\n\ndef stamp():\n"
+        "    return time.time()  # repro: allow[*]\n",
+    )
+    assert run_analysis([tmp_path], root=tmp_path).findings == []
+
+    _engine_file(
+        tmp_path,
+        "import time\n\n\ndef stamp():\n"
+        "    return time.time()  # repro: allow[privacy-taint]\n",
+    )
+    result = run_analysis([tmp_path], root=tmp_path)
+    assert [f.rule_id for f in result.findings] == ["det-wallclock"]
+
+
+def test_baseline_roundtrip_silences_grandfathered_findings(tmp_path):
+    _engine_file(tmp_path, VIOLATION)
+    first = run_analysis([tmp_path], root=tmp_path)
+    assert len(first.findings) == 1
+
+    baseline_path = tmp_path / ".repro-lint-baseline.json"
+    write_baseline(baseline_path, first.findings)
+    document = load_baseline(baseline_path)
+    assert len(baseline_fingerprints(document)) == 1
+
+    second = run_analysis([tmp_path], root=tmp_path, baseline=document)
+    assert second.findings == []
+    assert [f.rule_id for f in second.baselined] == ["det-wallclock"]
+
+
+def test_fingerprint_survives_unrelated_edits_above(tmp_path):
+    path = _engine_file(tmp_path, VIOLATION)
+    before = run_analysis([tmp_path], root=tmp_path).findings[0]
+    # insert lines above the violation: line number moves, fingerprint stays
+    path.write_text("import time\n\nPAGE = 4096\n\n\ndef stamp():\n    return time.time()\n")
+    after = run_analysis([tmp_path], root=tmp_path).findings[0]
+    assert after.line != before.line
+    assert after.fingerprint == before.fingerprint
+
+
+def test_fingerprint_tracks_rule_and_source_text():
+    finding = Finding("det-wallclock", "a.py", 3, "m", source_line="t = time.time()")
+    same = Finding("det-wallclock", "a.py", 99, "other msg", source_line="t = time.time()")
+    other_rule = Finding("privacy-taint", "a.py", 3, "m", source_line="t = time.time()")
+    assert finding.fingerprint == same.fingerprint
+    assert finding.fingerprint != other_rule.fingerprint
+
+
+def test_walker_skips_caches_and_dedupes(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+    cache = tmp_path / "pkg" / "__pycache__"
+    cache.mkdir()
+    (cache / "a.cpython-312.py").write_text("x = 1\n")
+    files = list(iter_python_files([tmp_path, tmp_path / "pkg" / "a.py"]))
+    assert [p.name for p in files] == ["a.py"]
+
+
+def test_syntax_errors_are_reported_not_raised(tmp_path):
+    (tmp_path / "broken.py").write_text("def broken(:\n")
+    result = run_analysis([tmp_path], root=tmp_path)
+    assert result.findings == []
+    assert len(result.parse_errors) == 1
+    assert "broken.py" in result.parse_errors[0]
+
+
+def test_finding_render_formats():
+    finding = Finding("det-wallclock", "src/x.py", 7, "bad call", hint="use perf_counter")
+    text = finding.format_text()
+    assert "src/x.py:7" in text and "[det-wallclock]" in text and "hint:" in text
+    payload = finding.to_json()
+    assert payload["rule"] == "det-wallclock"
+    assert payload["fingerprint"] == finding.fingerprint
+    json.dumps(payload)  # JSON-serialisable as-is

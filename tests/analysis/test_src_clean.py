@@ -1,0 +1,43 @@
+"""The acceptance gate: the repository's own tree lints clean at HEAD.
+
+This is the in-tree mirror of the CI lint job — if a PR introduces an
+invariant violation anywhere under ``src``/``benchmarks``/``examples``, this
+test names the file, line and rule.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import all_rules, run_analysis
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_repository_lints_clean():
+    roots = [
+        REPO_ROOT / name
+        for name in ("src", "benchmarks", "examples")
+        if (REPO_ROOT / name).exists()
+    ]
+    result = run_analysis(roots, root=REPO_ROOT)
+    assert not result.parse_errors, result.parse_errors
+    formatted = "\n".join(f.format_text() for f in result.findings)
+    assert result.findings == [], f"repro-lint findings at HEAD:\n{formatted}"
+    assert result.files_checked > 50
+
+
+def test_no_inline_self_exemptions_in_the_linter():
+    # the linter must hold itself to the same rules it enforces: zero
+    # findings AND zero suppressed findings in its own package
+    analysis_dir = REPO_ROOT / "src" / "repro" / "analysis"
+    result = run_analysis([analysis_dir], root=REPO_ROOT)
+    assert result.findings == []
+    assert result.suppressed == []
+    assert result.baselined == []
+
+
+def test_rule_families_active():
+    rules = all_rules()
+    assert len({rule.family for rule in rules}) >= 5
+    assert len(rules) >= 8

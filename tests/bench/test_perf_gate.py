@@ -1,0 +1,174 @@
+"""Edge-case coverage for the performance regression gate.
+
+The gate has to fail *loudly* on every way a baseline can rot: a missing
+results directory, a truncated/malformed JSON file, an envelope of the wrong
+shape, a registered benchmark whose baseline was deleted, and a metric that
+vanished from an otherwise present payload.  Each case must come back as a
+violation string naming the culprit — never a traceback, never a silent pass.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+
+from perf_gate import (  # noqa: E402
+    METRIC_FLOORS,
+    check_floors,
+    gate_committed_results,
+    load_committed_results,
+)
+
+#: A micro_fastpath payload that clears every registered floor (the numpy
+#: kernel guard is off, so its conditional floor does not apply).
+PASSING_DATA = {
+    "dijkstra": {"speedup": 5.0},
+    "xor_pir": {"speedup": 6.0},
+    "batch_CI": {"speedup": 3.0},
+    "batch_PI": {"speedup": 3.5},
+    "sharded_pir": {"speedup": 2.0},
+    "xor_kernel": {"kernel": "python", "speedup": 1.0},
+}
+
+
+def _write_envelope(directory: Path, name: str, data) -> Path:
+    path = directory / f"{name}.json"
+    path.write_text(
+        json.dumps({"benchmark": name, "data": data}), encoding="utf-8"
+    )
+    return path
+
+
+class TestLoadCommittedResults:
+    def test_empty_directory_yields_nothing(self, tmp_path):
+        results, problems = load_committed_results(tmp_path)
+        assert results == {}
+        assert problems == []
+
+    def test_malformed_json_becomes_a_problem_not_a_crash(self, tmp_path):
+        (tmp_path / "micro_fastpath.json").write_text("{truncated", encoding="utf-8")
+        _write_envelope(tmp_path, "other", {"x": 1})
+        results, problems = load_committed_results(tmp_path)
+        assert list(results) == ["other"]  # the good file still loads
+        assert len(problems) == 1
+        assert "micro_fastpath.json" in problems[0]
+        assert "unreadable baseline" in problems[0]
+
+    def test_non_object_envelope_becomes_a_problem(self, tmp_path):
+        (tmp_path / "weird.json").write_text("[1, 2, 3]", encoding="utf-8")
+        results, problems = load_committed_results(tmp_path)
+        assert results == {}
+        assert len(problems) == 1
+        assert "weird.json" in problems[0]
+        assert "expected a JSON object" in problems[0]
+
+    def test_benchmark_name_falls_back_to_file_stem(self, tmp_path):
+        (tmp_path / "unnamed.json").write_text(
+            json.dumps({"data": {"x": 1}}), encoding="utf-8"
+        )
+        results, _ = load_committed_results(tmp_path)
+        assert results == {"unnamed": {"x": 1}}
+
+    def test_list_data_payload_is_tolerated(self, tmp_path):
+        # table-style benchmarks (table1_datasets, fig5_lm_tuning) commit
+        # list payloads; they carry no floors and must load without fuss
+        _write_envelope(tmp_path, "table1_datasets", [{"row": 1}])
+        results, problems = load_committed_results(tmp_path)
+        assert problems == []
+        assert results["table1_datasets"] == [{"row": 1}]
+
+
+class TestCheckFloors:
+    def test_passing_payload_has_no_violations(self):
+        assert check_floors({"micro_fastpath": PASSING_DATA}) == []
+
+    def test_metric_below_floor_is_named(self):
+        data = dict(PASSING_DATA, dijkstra={"speedup": 0.5})
+        violations = check_floors({"micro_fastpath": data})
+        assert len(violations) == 1
+        assert "dijkstra.speedup" in violations[0]
+        assert "0.50" in violations[0]
+        assert "floor of 3" in violations[0]
+
+    def test_missing_metric_is_a_violation(self):
+        data = {k: v for k, v in PASSING_DATA.items() if k != "xor_pir"}
+        violations = check_floors({"micro_fastpath": data})
+        assert len(violations) == 1
+        assert "xor_pir.speedup" in violations[0]
+        assert "missing" in violations[0]
+
+    def test_absent_benchmark_passes_by_default(self):
+        assert check_floors({}) == []
+
+    def test_absent_benchmark_fails_when_registration_is_required(self):
+        violations = check_floors({}, require_registered=True)
+        assert len(violations) == 1
+        assert "micro_fastpath" in violations[0]
+        assert "missing from the result set" in violations[0]
+
+    def test_when_guard_skips_floor_unless_triggered(self):
+        # kernel != numpy: the 10x packed-kernel floor must not apply
+        data = dict(PASSING_DATA, xor_kernel={"kernel": "python", "speedup": 1.0})
+        assert check_floors({"micro_fastpath": data}) == []
+
+        # kernel == numpy with a regressed speedup: the floor bites
+        data = dict(PASSING_DATA, xor_kernel={"kernel": "numpy", "speedup": 2.0})
+        violations = check_floors({"micro_fastpath": data})
+        assert len(violations) == 1
+        assert "xor_kernel.speedup" in violations[0]
+
+    def test_only_prefix_restricts_the_check(self):
+        # everything except xor_kernel is absent, but the prefix filter
+        # means only xor_kernel floors are evaluated at all
+        data = {"xor_kernel": {"kernel": "numpy", "speedup": 50.0}}
+        assert check_floors({"micro_fastpath": data}, only="xor_kernel.") == []
+
+        data = {"xor_kernel": {"kernel": "numpy", "speedup": 2.0}}
+        violations = check_floors({"micro_fastpath": data}, only="xor_kernel.")
+        assert len(violations) == 1
+        assert "xor_kernel.speedup" in violations[0]
+
+    def test_unregistered_benchmark_is_ignored(self):
+        results = {"micro_fastpath": PASSING_DATA, "mystery": {"speedup": 0.0}}
+        assert check_floors(results) == []
+
+
+class TestGateCommittedResults:
+    def test_missing_directory_is_reported(self, tmp_path):
+        gone = tmp_path / "does-not-exist"
+        violations = gate_committed_results(gone)
+        assert len(violations) == 1
+        assert "no committed benchmark baselines" in violations[0]
+
+    def test_deleted_registered_baseline_fails_the_gate(self, tmp_path):
+        # only an unfloored benchmark is committed: micro_fastpath's absence
+        # must not silently disable its floors
+        _write_envelope(tmp_path, "table1_datasets", [{"row": 1}])
+        violations = gate_committed_results(tmp_path)
+        assert any("micro_fastpath" in v and "missing" in v for v in violations)
+
+    def test_malformed_baseline_fails_the_gate(self, tmp_path):
+        _write_envelope(tmp_path, "micro_fastpath", PASSING_DATA)
+        (tmp_path / "broken.json").write_text("not json", encoding="utf-8")
+        violations = gate_committed_results(tmp_path)
+        assert len(violations) == 1
+        assert "broken.json" in violations[0]
+
+    def test_healthy_baselines_pass(self, tmp_path):
+        _write_envelope(tmp_path, "micro_fastpath", PASSING_DATA)
+        assert gate_committed_results(tmp_path) == []
+
+    def test_committed_repository_baselines_pass_at_head(self):
+        assert gate_committed_results() == []
+
+    def test_registry_floors_are_sane(self):
+        for benchmark, floors in METRIC_FLOORS.items():
+            assert floors, benchmark
+            for metric in floors:
+                assert metric.floor > 0
+                assert metric.path
