@@ -51,6 +51,17 @@ METRIC_FLOORS: Dict[str, List[MetricFloor]] = {
         # the vectorized server kernel: >=10x over the big-int fold at the
         # largest batch of the curve, wherever numpy exists to build it
         MetricFloor("xor_kernel.speedup", 10.0, when=("xor_kernel.kernel", "numpy")),
+        # the persistent solve pool: the second consecutive process batch
+        # must reuse the first batch's executor (1.0 == exactly one pool
+        # start across both batches; timing deliberately not floored)
+        MetricFloor("warm_pool.reuse", 1.0),
+    ],
+    "serving": [
+        # the asyncio shard service: sustained open-loop throughput at 4
+        # shards, floored only where numpy serves the packed kernel
+        MetricFloor("retrievals_per_s", 1000.0, when=("kernel", "numpy")),
+        # engine batches over TCP are bit-identical to in-process serving
+        MetricFloor("bit_identical", 1.0),
     ],
 }
 

@@ -22,6 +22,7 @@ from .common import dotted_name
 CONCURRENCY_SCOPE: Tuple[str, ...] = (
     "src/repro/engine/",
     "src/repro/pir/",
+    "src/repro/serving/",
 )
 
 #: Constructors whose module-level instances are concurrency-sanctioned.

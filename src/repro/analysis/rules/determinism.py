@@ -27,6 +27,7 @@ DETERMINISM_SCOPE: Tuple[str, ...] = (
     "src/repro/schemes/",
     "src/repro/pir/",
     "src/repro/network/indexed.py",
+    "src/repro/serving/pool.py",
 )
 
 #: Wall-clock and entropy calls that make a result path nondeterministic.

@@ -28,6 +28,7 @@ PRIVACY_SCOPE: Tuple[str, ...] = (
     "src/repro/engine/",
     "src/repro/schemes/",
     "src/repro/pir/",
+    "src/repro/serving/",
 )
 
 #: Identifiers treated as query-derived (the query plaintext and its direct

@@ -79,7 +79,7 @@ def run_workload(
     shards: int = 1,
     store_backend: Optional[str] = None,
     store_dir=None,
-    pir_kernel: Optional[str] = None,
+    pir_kernel: Optional[str] = "off",
 ) -> WorkloadSummary:
     """Execute every query of the workload and aggregate the paper's metrics.
 
@@ -100,7 +100,10 @@ def run_workload(
     PIR reads from it.  ``pir_kernel`` serves every PIR read through a real
     two-server XOR retrieval over the named packed server kernel
     ("auto"/"numpy"/"bigint"; results stay bit-identical — see
-    :mod:`repro.pir.kernels`).
+    :mod:`repro.pir.kernels`).  It is pinned ``"off"`` (direct page reads)
+    here: the experiments measure the paper's *simulated* response times,
+    and folding every page through the XOR protocol only slows the
+    regeneration without changing a single reported number.
     """
     if not pairs:
         raise SchemeError("cannot run an empty workload")

@@ -18,7 +18,12 @@ writing Python:
   throughput, verification and page-cache statistics;
 * ``repro-spc experiment`` — run one of the paper's table/figure experiments
   (or an extension ablation) and print the same rows the benchmark suite
-  records.
+  records;
+* ``repro-spc serve`` — build a scheme and boot one asyncio PIR shard server
+  per shard on loopback, printing the addresses clients connect to;
+* ``repro-spc loadgen`` — boot a shard cluster and drive it with the
+  open-loop load generator, printing sustained throughput and tail latency
+  (optionally cross-checking engine results against in-process serving).
 
 The module exposes :func:`main` taking an ``argv`` list so tests can drive it
 without spawning processes.
@@ -28,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 from . import __version__
@@ -160,12 +166,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--pir-kernel",
-        choices=("off", "auto", "numpy", "bigint"),
-        default="off",
+        choices=("default", "off", "auto", "numpy", "bigint"),
+        default="default",
         help="serve every PIR read through a real two-server XOR retrieval "
-        "over the named packed server kernel (auto picks numpy when "
-        "available); off (default) reads pages directly — results are "
-        "identical either way",
+        "over the named packed server kernel; default picks numpy when "
+        "numpy is importable and falls back to direct page reads "
+        "otherwise, auto always picks the best available kernel, off "
+        "forces direct reads — results are identical either way",
     )
     batch.add_argument(
         "--no-pipeline",
@@ -179,7 +186,60 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment = commands.add_parser("experiment", help="run one table/figure experiment")
     experiment.add_argument("name", choices=sorted(_EXPERIMENTS), help="experiment to run")
 
+    serve = commands.add_parser(
+        "serve", help="boot PIR shard servers for a scheme's database"
+    )
+    _add_scheme_arguments(serve)
+    _add_cluster_arguments(serve)
+    serve.add_argument(
+        "--run-seconds",
+        type=float,
+        default=None,
+        help="serve for this long then drain and exit (default: serve until "
+        "interrupted)",
+    )
+
+    loadgen = commands.add_parser(
+        "loadgen", help="drive a shard cluster with the open-loop load generator"
+    )
+    _add_scheme_arguments(loadgen)
+    _add_cluster_arguments(loadgen)
+    loadgen.add_argument("--rate", type=float, default=500.0,
+                         help="offered arrivals per second (open loop)")
+    loadgen.add_argument("--duration", type=float, default=2.0,
+                         help="run length in seconds")
+    loadgen.add_argument("--warmup", type=float, default=0.5,
+                         help="seconds excluded from the measurement window")
+    loadgen.add_argument("--connections", type=int, default=16,
+                         help="client connections across all shards")
+    loadgen.add_argument("--seed", type=int, default=17, help="workload seed")
+    loadgen.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip per-retrieval verification of the returned page bytes",
+    )
+    loadgen.add_argument(
+        "--check-engine",
+        action="store_true",
+        help="also run one engine batch against the cluster and require "
+        "bit-identical results to in-process serving (exit 1 on mismatch)",
+    )
+
     return parser
+
+
+def _add_cluster_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards", type=int, default=2,
+        help="shard servers to boot (one per database shard)",
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=("auto", "numpy", "bigint"),
+        default="auto",
+        help="packed XOR server kernel the shard servers answer with "
+        "(auto picks numpy when available)",
+    )
 
 
 def _add_scheme_arguments(parser: argparse.ArgumentParser) -> None:
@@ -363,6 +423,86 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    if args.shards <= 0:
+        print(f"error: --shards must be positive, got {args.shards}", file=sys.stderr)
+        return 2
+    from .serving import ShardCluster
+
+    scheme = _build_scheme(args)
+    with ShardCluster(
+        scheme.database, num_shards=args.shards, kernel=args.kernel
+    ) as cluster:
+        print(f"scheme        : {scheme.name}")
+        print(f"serving       : {args.shards} shard server(s), "
+              f"kernel {cluster.servers[0].kernel}")
+        for shard_id, (host, port) in enumerate(cluster.addresses):
+            print(f"  shard {shard_id}: {host}:{port}")
+        try:
+            if args.run_seconds is not None:
+                time.sleep(args.run_seconds)
+            else:  # pragma: no cover - interactive mode
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:  # pragma: no cover - interactive mode
+            pass
+        print("draining and shutting down")
+    return 0
+
+
+def _command_loadgen(args: argparse.Namespace) -> int:
+    if args.shards <= 0:
+        print(f"error: --shards must be positive, got {args.shards}", file=sys.stderr)
+        return 2
+    if args.rate <= 0 or args.duration <= 0 or args.warmup < 0:
+        print("error: --rate/--duration must be positive and --warmup "
+              "non-negative", file=sys.stderr)
+        return 2
+    if args.warmup >= args.duration:
+        print("error: --warmup must be shorter than --duration", file=sys.stderr)
+        return 2
+    from .serving import ShardCluster, run_loadgen
+
+    scheme = _build_scheme(args)
+    with ShardCluster(
+        scheme.database, num_shards=args.shards, kernel=args.kernel
+    ) as cluster:
+        report = run_loadgen(
+            cluster.addresses,
+            scheme.database,
+            rate=args.rate,
+            duration_s=args.duration,
+            warmup_s=args.warmup,
+            connections=args.connections,
+            seed=args.seed,
+            verify=not args.no_verify,
+        )
+        report.shard_stats = cluster.stats()
+        print(f"scheme        : {scheme.name}")
+        print(f"file          : {report.file_name}")
+        for line in report.summary_lines():
+            print(line)
+        if report.mismatches or report.errors:
+            print("error: the load run returned wrong bytes or server errors",
+                  file=sys.stderr)
+            return 1
+        if args.check_engine:
+            pairs = generate_workload(scheme.network, count=8, seed=args.seed)
+            baseline = QueryEngine(scheme).run_batch(pairs, verify_costs=False)
+            with QueryEngine(scheme, serving=cluster) as engine:
+                remote = engine.run_batch(pairs, verify_costs=False)
+            fingerprint = lambda batch: [
+                (result.path.nodes, result.path.cost, result.trace.adversary_view())
+                for result in batch.results
+            ]
+            if fingerprint(remote) != fingerprint(baseline):
+                print("error: remote engine batch differs from in-process "
+                      "serving", file=sys.stderr)
+                return 1
+            print("engine check  : remote results bit-identical to in-process")
+    return 0
+
+
 _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "datasets": _command_datasets,
     "generate": _command_generate,
@@ -370,6 +510,8 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "query": _command_query,
     "batch": _command_batch,
     "experiment": _command_experiment,
+    "serve": _command_serve,
+    "loadgen": _command_loadgen,
 }
 
 

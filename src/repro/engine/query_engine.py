@@ -50,7 +50,7 @@ from __future__ import annotations
 import math
 import random
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -61,10 +61,12 @@ from ..pir import (
     ShardedPageStore,
     ShardedPirSimulator,
     UsablePirSimulator,
+    numpy_available,
     resolve_kernel,
 )
 from ..schemes import files as scheme_files
 from ..schemes.base import PreparedQuery, QueryResult, Scheme, client_state_scope
+from ..serving.pool import SolvePool
 from ..storage import clone_database
 from .cache import LruCache, NullCache
 
@@ -108,6 +110,8 @@ class BatchResult:
     #: XOR server kernel the PIR reads were served through ("numpy" or
     #: "bigint"), or None when the engine read pages directly.
     pir_kernel: Optional[str] = None
+    #: Whether the PIR reads were served by remote shard servers over TCP.
+    remote: bool = False
 
     @property
     def num_queries(self) -> int:
@@ -153,13 +157,23 @@ class QueryEngine:
     ``store_backend``/``store_dir`` re-home the scheme's database onto
     another page-store backend (memory/mmap/sqlite; pages stream across, the
     database is never materialised in RAM) and serve every PIR read from it.
-    ``pir_kernel`` additionally serves every PIR read through a real
-    two-server XOR retrieval over a packed server kernel
-    (``"auto"``/``"numpy"``/``"bigint"`` — see :mod:`repro.pir.kernels`);
-    the default ``None``/``"off"`` keeps direct page reads, since packing is
-    only worth paying for when the server-side XOR work is the thing being
-    exercised.  None of these knobs changes query results, traces or
-    adversary views (property-tested for every kernel).
+    ``pir_kernel`` selects how every PIR read is served: a real two-server
+    XOR retrieval over a packed server kernel
+    (``"auto"``/``"numpy"``/``"bigint"`` — see :mod:`repro.pir.kernels`) or
+    direct page reads (``"off"``).  Left unset, the engine serves XOR
+    retrievals through the packed numpy kernel whenever numpy is importable
+    and falls back to direct reads on a bare interpreter — the big-int
+    kernel is never *defaulted* into the serving path, since its per-read
+    fold is only worth paying for when it is the thing being measured.
+    ``serving`` (a :class:`~repro.serving.server.ShardCluster` or a list of
+    ``(host, port)`` addresses, one per shard) routes every PIR read to live
+    shard servers over TCP instead of in-process serving; ``solve_pool``
+    supplies a shared persistent :class:`~repro.serving.pool.SolvePool` for
+    process-mode batches (the engine otherwise creates and owns one lazily —
+    use the engine as a context manager, or call :meth:`close`, to reclaim
+    its workers deterministically).  None of these knobs changes query
+    results, traces or adversary views (property-tested for every kernel,
+    locally and over the wire).
     """
 
     def __init__(
@@ -171,6 +185,8 @@ class QueryEngine:
         store_backend: Optional[str] = None,
         store_dir=None,
         pir_kernel: Optional[str] = None,
+        serving=None,
+        solve_pool: Optional[SolvePool] = None,
     ) -> None:
         if cache_entries < 0:
             raise SchemeError(
@@ -178,6 +194,19 @@ class QueryEngine:
             )
         if shards < 1:
             raise SchemeError(f"shards must be positive, got {shards}")
+        self.serving_addresses: Optional[List[Tuple[str, int]]] = None
+        if serving is not None:
+            addresses = getattr(serving, "addresses", serving)
+            self.serving_addresses = [(host, int(port)) for host, port in addresses]
+            if not self.serving_addresses:
+                raise SchemeError("serving needs at least one shard address")
+            if shards == 1:
+                shards = len(self.serving_addresses)
+            elif shards != len(self.serving_addresses):
+                raise SchemeError(
+                    f"shards={shards} does not match the "
+                    f"{len(self.serving_addresses)} serving addresses"
+                )
         self.scheme = scheme
         #: The database every PIR read is served from: the scheme's own, or a
         #: bit-identical clone on the requested page-store backend.
@@ -188,10 +217,15 @@ class QueryEngine:
         else:
             self.database = scheme.database
         self.store_backend = self.database.store_backend
-        #: Resolved XOR serving kernel (None = direct page reads).
-        self.pir_kernel: Optional[str] = (
-            None if pir_kernel in (None, "off") else resolve_kernel(pir_kernel)
-        )
+        #: Resolved XOR serving kernel (None = direct page reads).  Unset
+        #: defaults to the packed numpy kernel when numpy is importable and
+        #: to direct reads otherwise (the "auto default" — ROADMAP item 2).
+        if pir_kernel in (None, "default"):
+            self.pir_kernel: Optional[str] = "numpy" if numpy_available() else None
+        elif pir_kernel == "off":
+            self.pir_kernel = None
+        else:
+            self.pir_kernel = resolve_kernel(pir_kernel)
         #: The shared plan every query of every batch runs under.
         self.plan = scheme.plan
         self.cache_entries = cache_entries
@@ -214,11 +248,46 @@ class QueryEngine:
             if shards == 1
             and self.database is scheme.database
             and self.pir_kernel is None
+            and self.serving_addresses is None
             else self._new_pir()
         )
         self._contexts: List[_WorkerContext] = [
             _WorkerContext(first_pir, self.page_cache)
         ]
+        #: Persistent process pool for the remote solve phases: reused
+        #: across batches, created lazily unless the caller supplied one.
+        self._solve_pool = solve_pool
+        self._owns_solve_pool = solve_pool is None
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release owned resources: the solve pool and remote connections.
+
+        A pool supplied by the caller is left running (they own it);
+        contexts' remote PIR connections are always closed — the shard
+        servers themselves keep serving.
+        """
+        if self._owns_solve_pool and self._solve_pool is not None:
+            self._solve_pool.close()
+            self._solve_pool = None
+        for context in self._contexts:
+            if context.pir is not self.scheme.pir:
+                closer = getattr(context.pir, "close", None)
+                if closer is not None:
+                    closer()
+
+    @property
+    def solve_pool(self) -> SolvePool:
+        """The engine's persistent process pool (created on first use)."""
+        if self._solve_pool is None:
+            self._solve_pool = SolvePool()
+            self._owns_solve_pool = True
+        return self._solve_pool
 
     def execute(self, source: NodeId, target: NodeId) -> QueryResult:
         """Answer a single query through the engine's page cache."""
@@ -279,6 +348,7 @@ class QueryEngine:
                 shards=self.shards,
                 store_backend=self.store_backend,
                 pir_kernel=self.pir_kernel,
+                remote=self.serving_addresses is not None,
             )
         workers = min(workers, len(pairs))
         contexts = self._contexts_for(workers)
@@ -334,6 +404,7 @@ class QueryEngine:
             shards=self.shards,
             store_backend=self.store_backend,
             pir_kernel=self.pir_kernel,
+            remote=self.serving_addresses is not None,
         )
 
     # ------------------------------------------------------------------ #
@@ -349,6 +420,20 @@ class QueryEngine:
 
     def _new_pir(self) -> UsablePirSimulator:
         scheme = self.scheme
+        if self.serving_addresses is not None:
+            # imported lazily: the serving client is only needed when the
+            # engine actually talks to live shard servers
+            from ..serving.client import RemotePirSimulator
+
+            return RemotePirSimulator(
+                self.database,
+                self.serving_addresses,
+                scp=SecureCoprocessor(scheme.spec),
+                spec=scheme.spec,
+                enforce_limits=scheme.pir.enforce_limits,
+                strategy=self.shard_strategy,
+                store=self._shard_store,
+            )
         if self.shards > 1:
             return ShardedPirSimulator(
                 self.database,
@@ -421,34 +506,36 @@ class QueryEngine:
         #: identical bytes and search identical endpoints, so their solves
         #: are the same deterministic computation — submit it once
         in_flight: Dict[Tuple, object] = {}
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for position, item in enumerate(indexed):
-                # mirror the thread path's round-robin shard assignment
-                context = contexts[position % workers]
-                prepared = self._prepare(context, item)
-                remote = prepared.remote
-                already_assembled = (
-                    remote is not None
-                    and remote.cache_key is not None
-                    and remote.cache_key in context.cache
+        # the engine's persistent pool: workers stay warm across batches
+        # instead of paying ProcessPoolExecutor spin-up per run_batch call
+        pool = self.solve_pool.executor(workers)
+        for position, item in enumerate(indexed):
+            # mirror the thread path's round-robin shard assignment
+            context = contexts[position % workers]
+            prepared = self._prepare(context, item)
+            remote = prepared.remote
+            already_assembled = (
+                remote is not None
+                and remote.cache_key is not None
+                and remote.cache_key in context.cache
+            )
+            if remote is not None and not already_assembled:
+                solve_key = (
+                    (remote.cache_key, item[1])
+                    if remote.cache_key is not None
+                    else None
                 )
-                if remote is not None and not already_assembled:
-                    solve_key = (
-                        (remote.cache_key, item[1])
-                        if remote.cache_key is not None
-                        else None
-                    )
-                    future = in_flight.get(solve_key) if solve_key is not None else None
-                    if future is None:
-                        future = pool.submit(remote.function, *remote.args)
-                        if solve_key is not None:
-                            in_flight[solve_key] = future
-                    pending.append((item[0], prepared, future))
-                else:
-                    results_by_index[item[0]] = self._solve(context, prepared)
-            for index, prepared, future in pending:
-                path, solve_seconds = future.result()
-                results_by_index[index] = prepared.finish(path, solve_seconds)
+                future = in_flight.get(solve_key) if solve_key is not None else None
+                if future is None:
+                    future = pool.submit(remote.function, *remote.args)
+                    if solve_key is not None:
+                        in_flight[solve_key] = future
+                pending.append((item[0], prepared, future))
+            else:
+                results_by_index[item[0]] = self._solve(context, prepared)
+        for index, prepared, future in pending:
+            path, solve_seconds = future.result()
+            results_by_index[index] = prepared.finish(path, solve_seconds)
         return results_by_index
 
     def _prepare(self, context: _WorkerContext, item: _IndexedPair) -> PreparedQuery:

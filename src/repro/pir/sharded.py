@@ -285,6 +285,13 @@ class ShardedPageStore:
             raise PirError(f"file {file_name!r} has no sharded pages") from None
         return file_map.locate(page_number)
 
+    def page_size(self, file_name: str) -> int:
+        """Padded page size of a sharded file (what a shard serves per read)."""
+        page_file = self._files.get(file_name)
+        if page_file is None:
+            raise PirError(f"file {file_name!r} has no sharded pages")
+        return page_file.page_size
+
     def shard_num_pages(self, shard_id: int, file_name: str) -> int:
         """Pages of ``file_name`` owned by shard ``shard_id``."""
         file_map = self.maps.get(file_name)

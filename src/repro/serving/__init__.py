@@ -1,0 +1,43 @@
+"""The PIR shard service: TCP serving, remote clients, and the worker pool.
+
+Server side (:mod:`repro.serving.server`): one asyncio :class:`ShardServer`
+per database shard answering subset-mask batches through the packed
+:class:`~repro.pir.kernels.ServerKernel`, with request coalescing, bounded
+admission (``BUSY`` backpressure) and graceful drain;
+:class:`ShardCluster` boots one server per shard.  Client side
+(:mod:`repro.serving.client`): :class:`RemotePirShard` /
+:class:`RemotePirSimulator` present the in-process simulator surface over
+pooled connections, bit-identical to local serving (invariant I2).  Engine
+side (:mod:`repro.serving.pool`): the persistent :class:`SolvePool`
+process pool the query engine reuses across batches.
+:mod:`repro.serving.loadgen` is the open-loop load harness over all of it.
+"""
+
+from .client import ConnectionPool, RemotePirShard, RemotePirSimulator, ShardConnection
+from .loadgen import LoadReport, run_loadgen
+from .pool import SolvePool
+from .server import ShardCluster, ShardServer
+from .wire import (
+    FrameDecoder,
+    RemoteServerError,
+    ServerBusy,
+    ShardInfo,
+    WireError,
+)
+
+__all__ = [
+    "ConnectionPool",
+    "FrameDecoder",
+    "LoadReport",
+    "RemotePirShard",
+    "RemotePirSimulator",
+    "RemoteServerError",
+    "ServerBusy",
+    "ShardCluster",
+    "ShardConnection",
+    "ShardInfo",
+    "ShardServer",
+    "SolvePool",
+    "WireError",
+    "run_loadgen",
+]

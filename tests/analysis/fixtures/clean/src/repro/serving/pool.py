@@ -1,0 +1,9 @@
+"""Clean fixture: the pool measures durations with perf_counter only."""
+
+import time
+
+
+def timed_submit(pool, task):
+    started = time.perf_counter()
+    result = pool.run(task)
+    return result, time.perf_counter() - started

@@ -1,0 +1,12 @@
+"""Clean fixture: the serving surface logs only mask subsets, opt-in."""
+
+
+class Server:
+    def __init__(self, log_queries=False):
+        self.log_queries = log_queries
+        self.queries_seen = []
+
+    def answer(self, file_name, shard_id, subset):
+        if self.log_queries:
+            self.queries_seen.append((file_name, shard_id, subset))
+        print("flushed", len(subset), "masks")

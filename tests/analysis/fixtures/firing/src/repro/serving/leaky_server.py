@@ -1,0 +1,10 @@
+"""Firing fixture: a shard server leaking query plaintext over the wire."""
+
+
+class LeakyServer:
+    def __init__(self):
+        self.queries_seen = []
+
+    def answer(self, source, target):
+        print("answering retrieval for", source, "->", target)
+        self.queries_seen.append((source, target))

@@ -1,0 +1,8 @@
+"""Firing fixture: wall-clock reads inside the persistent solve pool."""
+
+import time
+
+
+def stamp_submit(task):
+    task.submitted_at = time.time()
+    return task

@@ -32,6 +32,9 @@ EXPECTED_FIRING = {
     ("src/repro/pir/module_cache.py", 7, "conc-module-state"),
     ("benchmarks/storage_probe.py", 7, "res-unclosed-store"),
     ("benchmarks/storage_probe.py", 12, "res-unclosed-store"),
+    ("src/repro/serving/leaky_server.py", 9, "privacy-taint"),
+    ("src/repro/serving/leaky_server.py", 10, "privacy-queries-seen"),
+    ("src/repro/serving/pool.py", 7, "det-wallclock"),
 }
 
 ALL_RULE_IDS = sorted({rule_id for _, _, rule_id in EXPECTED_FIRING})

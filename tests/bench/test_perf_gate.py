@@ -33,6 +33,15 @@ PASSING_DATA = {
     "batch_PI": {"speedup": 3.5},
     "sharded_pir": {"speedup": 2.0},
     "xor_kernel": {"kernel": "python", "speedup": 1.0},
+    "warm_pool": {"reuse": 1.0},
+}
+
+#: A serving payload that clears the serving floors (numpy kernel, so the
+#: conditional throughput floor applies and is met).
+PASSING_SERVING = {
+    "kernel": "numpy",
+    "retrievals_per_s": 1500.0,
+    "bit_identical": 1.0,
 }
 
 
@@ -107,8 +116,10 @@ class TestCheckFloors:
 
     def test_absent_benchmark_fails_when_registration_is_required(self):
         violations = check_floors({}, require_registered=True)
-        assert len(violations) == 1
-        assert "micro_fastpath" in violations[0]
+        assert len(violations) == len(METRIC_FLOORS)
+        named = "\n".join(violations)
+        for benchmark in METRIC_FLOORS:
+            assert benchmark in named
         assert "missing from the result set" in violations[0]
 
     def test_when_guard_skips_floor_unless_triggered(self):
@@ -154,6 +165,7 @@ class TestGateCommittedResults:
 
     def test_malformed_baseline_fails_the_gate(self, tmp_path):
         _write_envelope(tmp_path, "micro_fastpath", PASSING_DATA)
+        _write_envelope(tmp_path, "serving", PASSING_SERVING)
         (tmp_path / "broken.json").write_text("not json", encoding="utf-8")
         violations = gate_committed_results(tmp_path)
         assert len(violations) == 1
@@ -161,6 +173,7 @@ class TestGateCommittedResults:
 
     def test_healthy_baselines_pass(self, tmp_path):
         _write_envelope(tmp_path, "micro_fastpath", PASSING_DATA)
+        _write_envelope(tmp_path, "serving", PASSING_SERVING)
         assert gate_committed_results(tmp_path) == []
 
     def test_committed_repository_baselines_pass_at_head(self):

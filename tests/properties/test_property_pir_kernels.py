@@ -209,7 +209,15 @@ class TestEndToEndEquivalence:
         assert batch.pir_kernel == kernel
         assert batch_fingerprint(batch) == baseline
 
-    def test_kernel_off_is_the_default(self, ci_scheme, pairs):
+    def test_kernel_default_is_numpy_when_available(self, ci_scheme, pairs):
         engine = QueryEngine(ci_scheme, cache_entries=64)
+        expected = "numpy" if numpy_available() else None
+        assert engine.pir_kernel == expected
+        assert engine.run_batch(pairs[:1]).pir_kernel == expected
+
+    def test_kernel_off_disables_packed_serving(self, ci_scheme, pairs, baseline):
+        engine = QueryEngine(ci_scheme, cache_entries=64, pir_kernel="off")
         assert engine.pir_kernel is None
-        assert engine.run_batch(pairs[:1]).pir_kernel is None
+        batch = engine.run_batch(pairs, verify_costs=True)
+        assert batch.pir_kernel is None
+        assert batch_fingerprint(batch) == baseline

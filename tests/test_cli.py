@@ -303,3 +303,71 @@ class TestExperimentCommand:
         assert main(["experiment", "ablation-oram"]) == 0
         output = capsys.readouterr().out
         assert "trivial_scan_per_access" in output
+
+
+class TestServeCommand:
+    def test_serve_boots_and_drains(self, tmp_path, capsys):
+        network_file = tmp_path / "net.txt"
+        main(["generate", "--nodes", "70", "--seed", "2", "--output", str(network_file)])
+        code = main(
+            [
+                "serve",
+                "--network", str(network_file),
+                "--page-size", "256",
+                "--shards", "2",
+                "--run-seconds", "0.1",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "2 shard server(s)" in output
+        assert "shard 0: 127.0.0.1:" in output
+        assert "shard 1: 127.0.0.1:" in output
+        assert "draining and shutting down" in output
+
+    def test_serve_rejects_invalid_shards(self, tmp_path, capsys):
+        network_file = tmp_path / "net.txt"
+        main(["generate", "--nodes", "70", "--seed", "2", "--output", str(network_file)])
+        code = main(
+            ["serve", "--network", str(network_file), "--shards", "0"]
+        )
+        assert code == 2
+        assert "--shards must be positive" in capsys.readouterr().err
+
+
+class TestLoadgenCommand:
+    def test_loadgen_reports_throughput_and_checks_engine(self, tmp_path, capsys):
+        network_file = tmp_path / "net.txt"
+        main(["generate", "--nodes", "70", "--seed", "2", "--output", str(network_file)])
+        code = main(
+            [
+                "loadgen",
+                "--network", str(network_file),
+                "--page-size", "256",
+                "--shards", "2",
+                "--rate", "200",
+                "--duration", "0.6",
+                "--warmup", "0.1",
+                "--check-engine",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "open-loop load" in output
+        assert "mismatches=0" in output
+        assert "retrievals/s" in output
+        assert "remote results bit-identical to in-process" in output
+
+    def test_loadgen_rejects_warmup_longer_than_duration(self, tmp_path, capsys):
+        network_file = tmp_path / "net.txt"
+        main(["generate", "--nodes", "70", "--seed", "2", "--output", str(network_file)])
+        code = main(
+            [
+                "loadgen",
+                "--network", str(network_file),
+                "--duration", "0.5",
+                "--warmup", "1.0",
+            ]
+        )
+        assert code == 2
+        assert "--warmup must be shorter" in capsys.readouterr().err
