@@ -51,6 +51,18 @@ METRIC_FLOORS: Dict[str, List[MetricFloor]] = {
         # the vectorized server kernel: >=10x over the big-int fold at the
         # largest batch of the curve, wherever numpy exists to build it
         MetricFloor("xor_kernel.speedup", 10.0, when=("xor_kernel.kernel", "numpy")),
+        # beyond the table budget: the tiled GF(2) product must beat the
+        # per-mask row gather >=3x at the largest (serving-sized) batch
+        MetricFloor(
+            "tiled_fallback.speedup", 3.0, when=("tiled_fallback.kernel", "numpy")
+        ),
+        # shared shard packs: a worker's cold batch over attached segments
+        # beats the per-worker rebuild >=2x at 4 shards, and publishing
+        # built each pack exactly once machine-wide (attaches build none)
+        MetricFloor("shared_pack.speedup", 2.0, when=("shared_pack.kernel", "numpy")),
+        MetricFloor(
+            "shared_pack.single_build", 1.0, when=("shared_pack.kernel", "numpy")
+        ),
         # the persistent solve pool: the second consecutive process batch
         # must reuse the first batch's executor (1.0 == exactly one pool
         # start across both batches; timing deliberately not floored)

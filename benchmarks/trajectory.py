@@ -1,0 +1,216 @@
+"""Performance trajectory over the committed benchmark baselines.
+
+Every PR re-records ``benchmarks/results/*.json``, so the git history of
+that directory *is* the repository's performance record — each commit holds
+one snapshot of every benchmark envelope.  This tool walks that history
+(``git log`` over the results directory, ``git show`` for each snapshot),
+extracts every metric the perf gate floors (``perf_gate.METRIC_FLOORS`` —
+the stable, regression-guarded metric set), and renders the trajectory two
+ways:
+
+* a long-format CSV (one row per commit × benchmark × metric) for plotting
+  and downstream tooling, and
+* a pivoted text table (one row per commit, one column per metric) for
+  humans — the same artifact CI uploads on every run.
+
+A repository whose results were never committed (or a checkout without
+git) falls back to a single ``worktree`` snapshot of the current results
+directory, so the tool always renders something.
+
+Run it directly::
+
+    PYTHONPATH=benchmarks python benchmarks/trajectory.py
+    python benchmarks/trajectory.py --csv out.csv --table out.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from perf_gate import METRIC_FLOORS, RESULTS_DIR, _lookup
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+#: Repo-relative path of the committed baselines (what ``git show`` needs).
+RESULTS_RELATIVE = "benchmarks/results"
+
+
+def _git(*arguments: str) -> Optional[str]:
+    """stdout of a git command in the repo, or None when git/repo is absent."""
+    try:
+        completed = subprocess.run(
+            ["git", "-C", str(REPO_ROOT), *arguments],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout
+
+
+def floored_metrics() -> List[Tuple[str, str]]:
+    """Every (benchmark, metric path) the perf gate registers, in gate order."""
+    return [
+        (benchmark, floor.path)
+        for benchmark, floors in METRIC_FLOORS.items()
+        for floor in floors
+    ]
+
+
+def _snapshot_metrics(payloads: Dict[str, dict]) -> Dict[Tuple[str, str], float]:
+    """The floored metric values present in one snapshot's ``data`` payloads."""
+    values: Dict[Tuple[str, str], float] = {}
+    for benchmark, path in floored_metrics():
+        data = payloads.get(benchmark)
+        if data is None:
+            continue
+        value = _lookup(data, path)
+        if isinstance(value, (int, float)):
+            values[(benchmark, path)] = float(value)
+    return values
+
+
+def _commit_payloads(commit: str) -> Dict[str, dict]:
+    """The ``data`` payloads of every results JSON committed at ``commit``."""
+    listing = _git("ls-tree", "-r", "--name-only", commit, "--", RESULTS_RELATIVE)
+    payloads: Dict[str, dict] = {}
+    for line in (listing or "").splitlines():
+        if not line.endswith(".json"):
+            continue
+        text = _git("show", f"{commit}:{line}")
+        if text is None:
+            continue
+        try:
+            envelope = json.loads(text)
+        except json.JSONDecodeError:
+            continue  # a mangled historical baseline is a gap, not a crash
+        if isinstance(envelope, dict):
+            name = str(envelope.get("benchmark", Path(line).stem))
+            payloads[name] = envelope.get("data", {})
+    return payloads
+
+
+def _worktree_payloads(results_dir: Path = RESULTS_DIR) -> Dict[str, dict]:
+    """Fallback snapshot: the results directory as it sits on disk."""
+    payloads: Dict[str, dict] = {}
+    for path in sorted(results_dir.glob("*.json")):
+        try:
+            envelope = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(envelope, dict):
+            payloads[str(envelope.get("benchmark", path.stem))] = envelope.get(
+                "data", {}
+            )
+    return payloads
+
+
+def collect_trajectory() -> List[dict]:
+    """One snapshot dict per commit that touched the committed baselines.
+
+    Each snapshot carries ``commit`` (short sha or ``worktree``), ``date``
+    (ISO committer date) and ``metrics`` (floored-metric values present at
+    that commit), ordered oldest first.
+    """
+    log = _git(
+        "log",
+        "--reverse",
+        "--format=%h\t%cI\t%s",
+        "--",
+        RESULTS_RELATIVE,
+    )
+    snapshots: List[dict] = []
+    for line in (log or "").splitlines():
+        parts = line.split("\t", 2)
+        if len(parts) < 2:
+            continue
+        commit, date = parts[0], parts[1]
+        subject = parts[2] if len(parts) > 2 else ""
+        metrics = _snapshot_metrics(_commit_payloads(commit))
+        if metrics:
+            snapshots.append(
+                {"commit": commit, "date": date, "subject": subject, "metrics": metrics}
+            )
+    if not snapshots:
+        metrics = _snapshot_metrics(_worktree_payloads())
+        if metrics:
+            snapshots.append(
+                {"commit": "worktree", "date": "", "subject": "", "metrics": metrics}
+            )
+    return snapshots
+
+
+def write_csv(snapshots: List[dict], path: Path) -> None:
+    """Long-format CSV: one row per commit × benchmark × metric."""
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["commit", "date", "benchmark", "metric", "value"])
+        for snapshot in snapshots:
+            for (benchmark, metric), value in sorted(snapshot["metrics"].items()):
+                writer.writerow(
+                    [snapshot["commit"], snapshot["date"], benchmark, metric, value]
+                )
+
+
+def format_table(snapshots: List[dict]) -> str:
+    """Pivoted text table: one row per commit, one column per floored metric."""
+    if not snapshots:
+        return "no benchmark trajectory: no committed baselines found\n"
+    # keep gate order, but only columns some snapshot actually carries
+    present = {key for snapshot in snapshots for key in snapshot["metrics"]}
+    columns = [key for key in floored_metrics() if key in present]
+    headers = ["commit", "date"] + [f"{bench}.{path}" for bench, path in columns]
+    rows = []
+    for snapshot in snapshots:
+        cells = [snapshot["commit"], snapshot["date"][:10]]
+        for key in columns:
+            value = snapshot["metrics"].get(key)
+            cells.append("" if value is None else f"{value:.2f}")
+        rows.append(cells)
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(line.rstrip() for line in lines) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--csv",
+        type=Path,
+        default=REPO_ROOT / "benchmarks" / "trajectory.csv",
+        help="CSV output path (default: benchmarks/trajectory.csv)",
+    )
+    parser.add_argument(
+        "--table",
+        type=Path,
+        default=None,
+        help="also write the text table to this path (always printed)",
+    )
+    args = parser.parse_args(argv)
+    snapshots = collect_trajectory()
+    write_csv(snapshots, args.csv)
+    table = format_table(snapshots)
+    sys.stdout.write(table)
+    if args.table is not None:
+        args.table.write_text(table, encoding="utf-8")
+    print(f"csv written: {args.csv} ({len(snapshots)} snapshot(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

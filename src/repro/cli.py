@@ -212,6 +212,14 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="seconds excluded from the measurement window")
     loadgen.add_argument("--connections", type=int, default=16,
                          help="client connections across all shards")
+    loadgen.add_argument(
+        "--client-procs",
+        type=int,
+        default=1,
+        help="fork this many client processes, each offering its share of "
+        "--rate on its own connections, so measured throughput is not "
+        "capped by one client's GIL; reports aggregated p50/p99",
+    )
     loadgen.add_argument("--seed", type=int, default=17, help="workload seed")
     loadgen.add_argument(
         "--no-verify",
@@ -239,6 +247,15 @@ def _add_cluster_arguments(parser: argparse.ArgumentParser) -> None:
         default="auto",
         help="packed XOR server kernel the shard servers answer with "
         "(auto picks numpy when available)",
+    )
+    parser.add_argument(
+        "--answer-threads",
+        type=int,
+        default=1,
+        help="kernel threads per shard server: large coalesced batches are "
+        "split into concurrent kernel sub-calls (numpy releases the GIL), "
+        "so one multicore host drives all shards; answers are bit-identical "
+        "for any thread count",
     )
 
 
@@ -427,15 +444,21 @@ def _command_serve(args: argparse.Namespace) -> int:
     if args.shards <= 0:
         print(f"error: --shards must be positive, got {args.shards}", file=sys.stderr)
         return 2
+    if args.answer_threads <= 0:
+        print(f"error: --answer-threads must be positive, got "
+              f"{args.answer_threads}", file=sys.stderr)
+        return 2
     from .serving import ShardCluster
 
     scheme = _build_scheme(args)
     with ShardCluster(
-        scheme.database, num_shards=args.shards, kernel=args.kernel
+        scheme.database, num_shards=args.shards, kernel=args.kernel,
+        answer_threads=args.answer_threads,
     ) as cluster:
         print(f"scheme        : {scheme.name}")
         print(f"serving       : {args.shards} shard server(s), "
-              f"kernel {cluster.servers[0].kernel}")
+              f"kernel {cluster.servers[0].kernel}, "
+              f"{args.answer_threads} answer thread(s)")
         for shard_id, (host, port) in enumerate(cluster.addresses):
             print(f"  shard {shard_id}: {host}:{port}")
         try:
@@ -461,13 +484,18 @@ def _command_loadgen(args: argparse.Namespace) -> int:
     if args.warmup >= args.duration:
         print("error: --warmup must be shorter than --duration", file=sys.stderr)
         return 2
-    from .serving import ShardCluster, run_loadgen
+    if args.answer_threads <= 0 or args.client_procs <= 0:
+        print("error: --answer-threads/--client-procs must be positive",
+              file=sys.stderr)
+        return 2
+    from .serving import ShardCluster, run_loadgen_multiproc
 
     scheme = _build_scheme(args)
     with ShardCluster(
-        scheme.database, num_shards=args.shards, kernel=args.kernel
+        scheme.database, num_shards=args.shards, kernel=args.kernel,
+        answer_threads=args.answer_threads,
     ) as cluster:
-        report = run_loadgen(
+        report = run_loadgen_multiproc(
             cluster.addresses,
             scheme.database,
             rate=args.rate,
@@ -476,6 +504,7 @@ def _command_loadgen(args: argparse.Namespace) -> int:
             connections=args.connections,
             seed=args.seed,
             verify=not args.no_verify,
+            client_procs=args.client_procs,
         )
         report.shard_stats = cluster.stats()
         print(f"scheme        : {scheme.name}")

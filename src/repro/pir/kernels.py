@@ -34,14 +34,28 @@ materialises intermediate ``bytes`` pages.  :func:`shared_kernel` memoises
 packs per backing store (keyed weakly, so a closed store releases its pack),
 which is how one packed image is shared by both replicas of a two-server
 protocol and by every worker context of the query engine.
+
+Packs also cross process boundaries without copies:
+:meth:`PackedDatabase.to_shared` re-homes the bit-matrix and group tables
+onto ``multiprocessing.shared_memory`` segments described by a picklable
+:class:`SharedPackHandle`, and :meth:`PackedDatabase.attach` maps them back
+read-only in another process.  The process-wide :class:`SharedPackRegistry`
+(:func:`shared_pack_registry`) owns publish/attach/unlink lifecycles so one
+machine holds exactly one resident pack per shard no matter how many worker
+processes or shard servers serve it.  Shared packs are read-only by
+contract: every consumer answers off the same immutable bytes (invariant
+I2 — see ``INVARIANTS.md``).
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 import random
 import threading
 import weakref
+import zlib
+from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -50,11 +64,14 @@ from typing import (
     FrozenSet,
     Iterable,
     List,
+    Mapping,
     Optional,
     Sequence,
     Tuple,
     Union,
 )
+
+from multiprocessing import shared_memory as _shared_memory
 
 from ..exceptions import PirError
 from .batch import mask_indices, random_subset_masks, validate_subset_mask
@@ -69,6 +86,10 @@ except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
 
 #: Environment variable naming the default kernel (CI legs force it).
 ENV_PIR_KERNEL = "REPRO_PIR_KERNEL"
+
+#: Environment variable overriding the group-table budget in bytes.  CI uses
+#: a tiny value to force every pack onto the tiled-fallback answer path.
+ENV_MAX_TABLE_BYTES = "REPRO_PIR_MAX_TABLE_BYTES"
 
 #: Kernel names accepted by :func:`resolve_kernel`.
 KERNEL_NAMES = ("auto", "numpy", "bigint")
@@ -155,6 +176,46 @@ class BigIntKernel:
         return [self.answer_mask(mask) for mask in masks]
 
 
+@dataclass(frozen=True)
+class SharedPackHandle:
+    """A picklable description of a pack living in shared memory.
+
+    Carries everything :meth:`PackedDatabase.attach` needs to map the pack
+    back read-only in another process: the ``multiprocessing.shared_memory``
+    segment names, the array geometry, and a CRC32 of the bit-matrix bytes
+    so attaching to a stale or foreign segment fails loudly instead of
+    serving wrong answers.
+    """
+
+    rows_name: str
+    tables_name: Optional[str]
+    num_blocks: int
+    words: int
+    block_size: int
+    group_bits: Optional[int]
+    max_table_bytes: int
+    rows_crc: int
+
+
+def _untrack_shared_memory(segment: Any) -> None:
+    """Detach a segment from the resource tracker (attacher side only).
+
+    On CPython < 3.13 merely *attaching* to a named segment registers it
+    with the process's resource tracker, which unlinks the segment when the
+    attaching process exits — destroying it under the owner.  Only the
+    owning process may unlink; attachers must deregister.  Callers skip the
+    call when this process (or the forking parent whose tracker it shares)
+    owns the segment: that one registration is the crash backstop that
+    reclaims ``/dev/shm`` if the owner dies without running ``atexit``.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary by platform
+        pass
+
+
 class PackedDatabase:
     """The packed numpy kernel: group-table GF(2) mask-matrix answering.
 
@@ -167,12 +228,16 @@ class PackedDatabase:
     name = "numpy"
 
     #: Group-table budget; beyond it the group width shrinks (8 → 4 → 2) and
-    #: finally the kernel falls back to per-mask row gathers.
+    #: finally the kernel answers through the tiled GF(2) product / row
+    #: gather.  Overridable per instance (``max_table_bytes=``) or via the
+    #: ``REPRO_PIR_MAX_TABLE_BYTES`` environment variable.
     MAX_TABLE_BYTES = 64 * 1024 * 1024
     #: Temporary-gather budget per ``answer_rows`` chunk.
     CHUNK_BYTES = 8 * 1024 * 1024
 
-    def __init__(self, rows: Any, block_size: int) -> None:
+    def __init__(
+        self, rows: Any, block_size: int, max_table_bytes: Optional[int] = None
+    ) -> None:
         if _np is None:  # pragma: no cover - guarded by resolve_kernel
             raise PirError("the numpy PIR kernel requires numpy")
         if rows.ndim != 2 or rows.dtype != _np.uint64 or rows.shape[0] < 1:
@@ -184,22 +249,54 @@ class PackedDatabase:
         self.words = int(rows.shape[1])
         self.block_size = int(block_size)
         self._mask_bytes = (self.num_blocks + 7) // 8
+        self._max_table_bytes = self._resolve_table_budget(max_table_bytes)
+        self._fingerprint: Optional[int] = None
+        self._shm_rows: Any = None
+        self._shm_tables: Any = None
+        self._owns_segments = False
+        #: The handle this pack lives behind (``None`` for private packs).
+        self.shared_handle: Optional["SharedPackHandle"] = None
         self._build_tables()
+        _PACK_REGISTRY.note_build()
+
+    @classmethod
+    def _resolve_table_budget(cls, max_table_bytes: Optional[int]) -> int:
+        """The effective table budget: argument → environment → class attr."""
+        if max_table_bytes is not None:
+            return int(max_table_bytes)
+        raw = os.environ.get(ENV_MAX_TABLE_BYTES)
+        if raw:
+            try:
+                return int(raw)
+            except ValueError:
+                raise PirError(
+                    f"{ENV_MAX_TABLE_BYTES}={raw!r} is not a byte count"
+                ) from None
+        return int(cls.MAX_TABLE_BYTES)
 
     # ------------------------------------------------------------------ #
     # construction
     # ------------------------------------------------------------------ #
     @classmethod
-    def from_blocks(cls, blocks: Sequence[bytes]) -> "PackedDatabase":
+    def from_blocks(
+        cls, blocks: Sequence[bytes], max_table_bytes: Optional[int] = None
+    ) -> "PackedDatabase":
         if not blocks:
             raise PirError("a PIR database needs at least one block")
         return cls.from_fetcher(
-            len(blocks), len(blocks[0]), lambda numbers: [blocks[n] for n in numbers]
+            len(blocks),
+            len(blocks[0]),
+            lambda numbers: [blocks[n] for n in numbers],
+            max_table_bytes=max_table_bytes,
         )
 
     @classmethod
     def from_fetcher(
-        cls, num_blocks: int, block_size: int, fetch: BlockFetcher
+        cls,
+        num_blocks: int,
+        block_size: int,
+        fetch: BlockFetcher,
+        max_table_bytes: Optional[int] = None,
     ) -> "PackedDatabase":
         """Pack ``num_blocks`` equal-sized blocks served by ``fetch``.
 
@@ -224,7 +321,7 @@ class PackedDatabase:
                         f"expected {block_size}"
                     )
                 flat[start + offset, :block_size] = data
-        return cls(rows, block_size)
+        return cls(rows, block_size, max_table_bytes=max_table_bytes)
 
     def _build_tables(self) -> None:
         """Pre-compute per-group XOR combination tables (adaptive width)."""
@@ -234,7 +331,7 @@ class PackedDatabase:
         self._tables: Any = None
         for bits in (8, 4, 2):
             groups = -(-n // bits)
-            if groups * (1 << bits) * words * 8 <= self.MAX_TABLE_BYTES:
+            if groups * (1 << bits) * words * 8 <= self._max_table_bytes:
                 self._group_bits = bits
                 break
         if self._group_bits is None:
@@ -289,6 +386,18 @@ class PackedDatabase:
     #: amortized over the batch, and it never builds the (B, G, W) temp).
     GROUP_LOOP_MIN_BATCH = 64
 
+    #: Beyond the table budget: batch size at which the tiled GF(2) product
+    #: overtakes the per-mask row gather (the gather touches ~N/2 rows per
+    #: mask; the tiled product pays one table build per tile for the whole
+    #: batch, which needs a batch to amortize over).
+    TILED_MIN_BATCH = 32
+    #: Group width of the tiled product's throwaway tables — 16-entry
+    #: tables keep the per-tile build cheap while quartering the row reads.
+    TILE_GROUP_BITS = 4
+    #: Per-tile byte budget of the tiled product's throwaway tables; bounds
+    #: peak extra memory no matter how far past the budget the pack is.
+    TILE_TABLE_BYTES = 4 * 1024 * 1024
+
     def answer_rows(self, masks: Sequence[int]) -> Any:
         """Answers for a batch of masks as a ``(B, words)`` uint64 array.
 
@@ -297,7 +406,9 @@ class PackedDatabase:
         ``bitwise_xor.reduce``; large batches instead accumulate group by
         group (``acc ^= tables[g, digits[:, g]]``), which skips the
         ``(B, groups, words)`` temporary entirely and is ~2x faster once the
-        per-group numpy call overhead is amortized over the batch.
+        per-group numpy call overhead is amortized over the batch.  Packs
+        beyond the table budget answer small batches with per-mask row
+        gathers and serving-sized batches with the tiled GF(2) product.
         """
         np = _np
         batch = len(masks)
@@ -322,13 +433,61 @@ class PackedDatabase:
                     gathered, axis=1, out=out[start : start + chunk]
                 )
             return out
-        # fallback for databases beyond the table budget: gather the selected
-        # rows of each mask and reduce them (vectorized over the blocks)
+        # beyond the table budget the strategy is again batch-adaptive: a
+        # row gather touches only ~N/2 rows per mask, so it wins for small
+        # batches; serving-sized batches run the tiled GF(2) product, whose
+        # per-tile table builds amortize over the whole batch
+        if batch < self.TILED_MIN_BATCH:
+            return self._answer_rows_gather(mask_matrix, out)
+        return self._answer_rows_tiled(mask_matrix, out)
+
+    def _answer_rows_gather(self, mask_matrix: Any, out: Any) -> Any:
+        """Gather each mask's selected rows and reduce them (small batches)."""
+        np = _np
         selection = np.unpackbits(mask_matrix, axis=1, bitorder="little").astype(bool)
-        for position in range(batch):
+        for position in range(mask_matrix.shape[0]):
             selected = self._rows[selection[position, : self.num_blocks]]
             if selected.shape[0]:
                 np.bitwise_xor.reduce(selected, axis=0, out=out[position])
+        return out
+
+    def _answer_rows_tiled(self, mask_matrix: Any, out: Any) -> Any:
+        """The tiled GF(2) mask-matrix × database product (large batches).
+
+        Streams the database in cache-blocked tiles of block groups: each
+        tile builds its :attr:`TILE_GROUP_BITS`-wide XOR combination tables
+        on the fly (the same doubling construction as the resident tables),
+        answers the whole batch through them with packed ``bitwise_xor``
+        accumulation, and discards them.  Big shards get the same batch
+        economics as table-covered ones while peak extra memory stays
+        bounded by :attr:`TILE_TABLE_BYTES`.
+        """
+        np = _np
+        bits = self.TILE_GROUP_BITS
+        batch, words = mask_matrix.shape[0], self.words
+        groups = -(-self.num_blocks // bits)
+        per_byte = 8 // bits
+        low_mask = (1 << bits) - 1
+        parts = [(mask_matrix >> (k * bits)) & low_mask for k in range(per_byte)]
+        # (groups, batch), contiguous per group: the accumulate loop below
+        # indexes one group's digit column at a time
+        digits = np.ascontiguousarray(
+            np.stack(parts, axis=2).reshape(batch, -1)[:, :groups].T
+        )
+        tile = max(1, self.TILE_TABLE_BYTES // ((1 << bits) * words * 8))
+        for start in range(0, groups, tile):
+            stop = min(groups, start + tile)
+            count = stop - start
+            first, last = start * bits, min(self.num_blocks, stop * bits)
+            padded = np.zeros((count * bits, words), dtype=np.uint64)
+            padded[: last - first] = self._rows[first:last]
+            grouped = padded.reshape(count, bits, words)
+            tables = np.zeros((count, 1 << bits, words), dtype=np.uint64)
+            for k in range(bits):
+                size = 1 << k
+                tables[:, size : 2 * size] = tables[:, :size] ^ grouped[:, k, None, :]
+            for group in range(count):
+                out ^= tables[group, digits[start + group]]
         return out
 
     def rows_to_blocks(self, rows: Any) -> List[bytes]:
@@ -359,6 +518,182 @@ class PackedDatabase:
 
     def answer_many(self, masks: Sequence[int]) -> List[bytes]:
         return self.rows_to_blocks(self.answer_rows(masks))
+
+    # ------------------------------------------------------------------ #
+    # shared memory
+    # ------------------------------------------------------------------ #
+    def to_shared(self) -> SharedPackHandle:
+        """Re-home the pack onto ``multiprocessing.shared_memory`` segments.
+
+        Idempotent: a pack that is already shared (owned *or* attached)
+        returns its existing handle.  The bit-matrix and group tables are
+        copied once into freshly created segments and this object's arrays
+        become read-only views over them, so the calling process keeps
+        answering off the same bytes every attacher maps.  The caller owns
+        the segments: :meth:`close_shared` (or the registry that published
+        the pack) must eventually unlink them.
+        """
+        if self.shared_handle is not None:
+            return self.shared_handle
+        np = _np
+        rows = self._rows
+        shm_rows = _shared_memory.SharedMemory(create=True, size=max(1, rows.nbytes))
+        shared_rows = np.ndarray(rows.shape, dtype=np.uint64, buffer=shm_rows.buf)
+        shared_rows[:] = rows
+        shared_rows.setflags(write=False)
+        rows_crc = zlib.crc32(memoryview(shm_rows.buf)[: rows.nbytes])
+        self._shm_rows = shm_rows
+        self._rows = shared_rows
+        tables_name: Optional[str] = None
+        if self._tables is not None:
+            tables = self._tables
+            shm_tables = _shared_memory.SharedMemory(
+                create=True, size=max(1, tables.nbytes)
+            )
+            shared_tables = np.ndarray(
+                tables.shape, dtype=np.uint64, buffer=shm_tables.buf
+            )
+            shared_tables[:] = tables
+            shared_tables.setflags(write=False)
+            self._shm_tables = shm_tables
+            self._tables = shared_tables
+            tables_name = shm_tables.name
+        self._owns_segments = True
+        _PACK_REGISTRY.note_owned(shm_rows.name)
+        if tables_name is not None:
+            _PACK_REGISTRY.note_owned(tables_name)
+        self.shared_handle = SharedPackHandle(
+            rows_name=shm_rows.name,
+            tables_name=tables_name,
+            num_blocks=self.num_blocks,
+            words=self.words,
+            block_size=self.block_size,
+            group_bits=self._group_bits,
+            max_table_bytes=self._max_table_bytes,
+            rows_crc=rows_crc,
+        )
+        return self.shared_handle
+
+    @classmethod
+    def attach(cls, handle: SharedPackHandle) -> "PackedDatabase":
+        """Map a shared pack read-only in this process — no rebuild, no copy.
+
+        Validates the segment geometry and the bit-matrix CRC before serving
+        off it, so a stale handle (owner already unlinked and the name was
+        recycled) raises :class:`PirError` instead of answering garbage.
+        Attached packs never own their segments: the resource tracker is
+        told to forget them (attacher exit must not destroy the owner's
+        segments) and :meth:`close_shared` only unmaps.
+        """
+        if _np is None:
+            raise PirError("attaching a shared pack requires numpy")
+        np = _np
+        try:
+            shm_rows = _shared_memory.SharedMemory(name=handle.rows_name)
+        except FileNotFoundError:
+            raise PirError(
+                f"shared pack segment {handle.rows_name!r} does not exist "
+                "(owner gone or already unlinked)"
+            ) from None
+        if not _PACK_REGISTRY.owns_segment(handle.rows_name):
+            _untrack_shared_memory(shm_rows)
+        nbytes = handle.num_blocks * handle.words * 8
+        if shm_rows.size < nbytes or zlib.crc32(
+            memoryview(shm_rows.buf)[:nbytes]
+        ) != handle.rows_crc:
+            try:
+                shm_rows.close()
+            except BufferError:  # pragma: no cover - no views exported yet
+                pass
+            raise PirError(
+                f"shared pack segment {handle.rows_name!r} does not match its "
+                "handle (size or checksum mismatch)"
+            )
+        pack = cls.__new__(cls)
+        rows = np.ndarray(
+            (handle.num_blocks, handle.words), dtype=np.uint64, buffer=shm_rows.buf
+        )
+        rows.setflags(write=False)
+        pack._rows = rows
+        pack.num_blocks = handle.num_blocks
+        pack.words = handle.words
+        pack.block_size = handle.block_size
+        pack._mask_bytes = (handle.num_blocks + 7) // 8
+        pack._max_table_bytes = handle.max_table_bytes
+        pack._fingerprint = None
+        pack._shm_rows = shm_rows
+        pack._shm_tables = None
+        pack._owns_segments = False
+        pack.shared_handle = handle
+        pack._group_bits = handle.group_bits
+        pack._tables = None
+        if handle.tables_name is not None and handle.group_bits is not None:
+            bits = handle.group_bits
+            groups = -(-handle.num_blocks // bits)
+            shm_tables = _shared_memory.SharedMemory(name=handle.tables_name)
+            if not _PACK_REGISTRY.owns_segment(handle.tables_name):
+                _untrack_shared_memory(shm_tables)
+            tables = np.ndarray(
+                (groups, 1 << bits, handle.words),
+                dtype=np.uint64,
+                buffer=shm_tables.buf,
+            )
+            tables.setflags(write=False)
+            pack._shm_tables = shm_tables
+            pack._tables = tables
+            pack._group_range = np.arange(groups)
+        return pack
+
+    def close_shared(self, unlink: Optional[bool] = None) -> None:
+        """Release the pack's shared-memory segments.
+
+        ``unlink`` defaults to this pack's ownership: owners destroy the
+        segments (``/dev/shm`` entries disappear), attachers only unmap.
+        The pack object itself stays usable: its arrays are copied back
+        into private memory first, because the :func:`shared_kernel` memo
+        may still hand this object to later simulators (an engine's
+        ``close()`` unpublishes packs the backing store keeps memoised —
+        answering off the dead mapping would be use-after-free).  An
+        unlinking owner copies everything back; a mere attacher keeps only
+        the bit-matrix and drops its table mapping (the tables are ~30x
+        the rows, and a worker's throwaway attached pack must stay a
+        cheap O(rows) unmap — answers stay bit-identical through the
+        table-free fallback paths if the object is ever used again).
+        Unmapping is best-effort — live numpy views keep the mapping alive
+        until they are collected (``BufferError`` is swallowed) — but an
+        owner's unlink always happens, which is the part that leaks.
+        """
+        if unlink is None:
+            unlink = self._owns_segments
+        self.shared_handle = None
+        self._owns_segments = False
+        if self._shm_rows is not None or self._shm_tables is not None:
+            rows = _np.array(self._rows)
+            rows.setflags(write=False)
+            self._rows = rows
+            if self._tables is not None:
+                if unlink:
+                    tables = _np.array(self._tables)
+                    tables.setflags(write=False)
+                    self._tables = tables
+                else:
+                    self._tables = None
+                    self._group_bits = None
+        for attribute in ("_shm_rows", "_shm_tables"):
+            segment = getattr(self, attribute)
+            if segment is None:
+                continue
+            setattr(self, attribute, None)
+            if unlink:
+                _PACK_REGISTRY.forget_owned(segment.name)
+                try:
+                    segment.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+            try:
+                segment.close()
+            except BufferError:
+                pass  # arrays still reference the mapping; it dies with them
 
 
 #: Either kernel implementation (they share the answering surface).
@@ -434,6 +769,23 @@ _SHARED_KERNELS: "weakref.WeakKeyDictionary[object, Dict[Tuple[object, ...], Ser
 _SHARED_KERNELS_LOCK = threading.Lock()
 
 
+def shared_kernel_key(
+    page_file: "PageFile",
+    page_numbers: Optional[Sequence[int]] = None,
+    kernel: Optional[str] = None,
+    cache_key: Tuple[object, ...] = (),
+) -> Tuple[object, ...]:
+    """The memo key :func:`shared_kernel` files a pack under.
+
+    Publishers (:meth:`SharedPackRegistry.publish`) use the same key so a
+    worker's :func:`shared_kernel` call resolves to the adopted shared pack
+    instead of rebuilding.
+    """
+    resolved = resolve_kernel(kernel)
+    count = page_file.num_pages if page_numbers is None else len(page_numbers)
+    return (resolved, page_file.name, count) + tuple(cache_key)
+
+
 def shared_kernel(
     page_file: "PageFile",
     page_numbers: Optional[Sequence[int]] = None,
@@ -447,10 +799,17 @@ def shared_kernel(
     all worker contexts of an engine.  The page count participates in the
     key, so a file that grew since the last pack is repacked; serving
     databases are sealed, which is what makes the memo safe.
+
+    When this process has *adopted* a shared pack under the same key (a
+    process worker whose initializer received the owner's handles), the
+    attached zero-copy pack is served instead of rebuilding — that is the
+    one-pack-per-machine path.  Only explicitly adopted entries are
+    consulted: owner processes keep building privately, so unrelated
+    databases that happen to share a file name and page count can never
+    collide through the registry.
     """
     resolved = resolve_kernel(kernel)
-    count = page_file.num_pages if page_numbers is None else len(page_numbers)
-    key = (resolved, page_file.name, count) + tuple(cache_key)
+    key = shared_kernel_key(page_file, page_numbers, kernel=resolved, cache_key=cache_key)
     store = page_file.store
     with _SHARED_KERNELS_LOCK:
         per_store = _SHARED_KERNELS.get(store)
@@ -460,9 +819,182 @@ def shared_kernel(
         cached = per_store.get(key)
     if cached is not None:
         return cached
+    if resolved == "numpy":
+        adopted = _PACK_REGISTRY.adopted(key)
+        if adopted is not None:
+            with _SHARED_KERNELS_LOCK:
+                return per_store.setdefault(key, adopted)
     built = kernel_from_pages(page_file, page_numbers, kernel=resolved)
     with _SHARED_KERNELS_LOCK:
         return per_store.setdefault(key, built)
+
+
+# ---------------------------------------------------------------------- #
+# the process-wide shared-pack registry
+# ---------------------------------------------------------------------- #
+class SharedPackRegistry:
+    """Publish/attach/unlink lifecycle for shared packs, one per process.
+
+    Owners (a :class:`~repro.engine.query_engine.QueryEngine` warming a
+    process pool, a ``ShardCluster`` booting servers) ``publish`` packs
+    under their :func:`shared_kernel_key`; the picklable handles travel to
+    worker initializers, which ``adopt`` them so the workers'
+    :func:`shared_kernel` calls attach instead of rebuilding.  Attaches are
+    memoised per segment, publishes record the owning pid — a forked child
+    inherits this module's state, and the pid guard keeps the child's exit
+    sweep from unlinking segments its parent still serves from.  All
+    methods are thread-safe; :meth:`close` runs from ``atexit`` as the
+    leak backstop.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._published: Dict[Tuple[object, ...], Tuple[PackedDatabase, int]] = {}
+        self._adopted: Dict[Tuple[object, ...], SharedPackHandle] = {}
+        self._attached: Dict[str, PackedDatabase] = {}
+        self._owned_names: Dict[str, bool] = {}
+        self._builds = 0
+
+    # -- segment ownership (resource-tracker coordination) --------------- #
+    def note_owned(self, name: str) -> None:
+        """Record that this process created segment ``name``."""
+        with self._lock:
+            self._owned_names[name] = True
+
+    def forget_owned(self, name: str) -> None:
+        """Drop the ownership record (the segment was unlinked)."""
+        with self._lock:
+            self._owned_names.pop(name, None)
+
+    def owns_segment(self, name: str) -> bool:
+        """Whether this process (or its forking parent) created ``name``.
+
+        Attaches to owned segments keep the resource-tracker registration
+        alive — it is the unlink-on-crash backstop for the owner.
+        """
+        with self._lock:
+            return name in self._owned_names
+
+    # -- instrumentation ------------------------------------------------ #
+    def note_build(self) -> None:
+        """Count one pack construction (called by ``PackedDatabase.__init__``)."""
+        with self._lock:
+            self._builds += 1
+
+    @property
+    def pack_builds(self) -> int:
+        """Packs *built* in this process (attaches deliberately not counted)."""
+        with self._lock:
+            return self._builds
+
+    # -- owner side ------------------------------------------------------ #
+    def publish(
+        self, key: Tuple[object, ...], pack: PackedDatabase
+    ) -> SharedPackHandle:
+        """Share ``pack`` under ``key`` and return its picklable handle.
+
+        The registry takes over unlink responsibility for the segments: they
+        are destroyed on :meth:`unpublish`/:meth:`close` (or the atexit
+        sweep), in the publishing process only.
+        """
+        handle = pack.to_shared()
+        with self._lock:
+            self._published[tuple(key)] = (pack, os.getpid())
+        return handle
+
+    def handles(self) -> Dict[Tuple[object, ...], SharedPackHandle]:
+        """Every published pack's handle, keyed as published (picklable)."""
+        result: Dict[Tuple[object, ...], SharedPackHandle] = {}
+        with self._lock:
+            for key, (pack, _) in self._published.items():
+                handle = pack.shared_handle
+                if handle is not None:
+                    result[key] = handle
+        return result
+
+    def unpublish(self, keys: Iterable[Tuple[object, ...]]) -> None:
+        """Withdraw and unlink the named packs (owner-pid guarded)."""
+        dropped: List[Tuple[PackedDatabase, int]] = []
+        with self._lock:
+            for key in keys:
+                entry = self._published.pop(tuple(key), None)
+                if entry is not None:
+                    dropped.append(entry)
+        pid = os.getpid()
+        for pack, owner_pid in dropped:
+            pack.close_shared(unlink=owner_pid == pid)
+
+    # -- worker side ----------------------------------------------------- #
+    def adopt(self, handles: Mapping[Tuple[object, ...], SharedPackHandle]) -> None:
+        """Attach published packs so :func:`shared_kernel` serves them.
+
+        Worker initializers call this with the owner's :meth:`handles`; each
+        distinct segment is mapped exactly once per process no matter how
+        many keys (or later ``adopt`` calls) reference it.
+        """
+        for key, handle in handles.items():
+            self.attach(handle)
+            with self._lock:
+                self._adopted[tuple(key)] = handle
+
+    def adopted(self, key: Tuple[object, ...]) -> Optional[PackedDatabase]:
+        """The attached pack adopted under ``key``, if any."""
+        with self._lock:
+            handle = self._adopted.get(tuple(key))
+        if handle is None:
+            return None
+        return self.attach(handle)
+
+    def attach(self, handle: SharedPackHandle) -> PackedDatabase:
+        """Attach to a shared pack, memoised per segment name.
+
+        When this process *published* the pack, the published object itself
+        is returned — the owner never maps its own segments twice.
+        """
+        with self._lock:
+            pack = self._attached.get(handle.rows_name)
+            if pack is None:
+                for published, _ in self._published.values():
+                    published_handle = published.shared_handle
+                    if (
+                        published_handle is not None
+                        and published_handle.rows_name == handle.rows_name
+                    ):
+                        pack = published
+                        break
+        if pack is not None:
+            return pack
+        attached = PackedDatabase.attach(handle)
+        with self._lock:
+            return self._attached.setdefault(handle.rows_name, attached)
+
+    # -- teardown --------------------------------------------------------- #
+    def close(self) -> None:
+        """Unlink everything this process published, unmap everything attached.
+
+        Idempotent; registered with ``atexit`` so no ``/dev/shm`` segment
+        outlives a cleanly exiting owner even when ``close()`` was skipped.
+        """
+        with self._lock:
+            published = list(self._published.values())
+            self._published.clear()
+            attached = list(self._attached.values())
+            self._attached.clear()
+            self._adopted.clear()
+        pid = os.getpid()
+        for pack, owner_pid in published:
+            pack.close_shared(unlink=owner_pid == pid)
+        for pack in attached:
+            pack.close_shared(unlink=False)
+
+
+_PACK_REGISTRY = SharedPackRegistry()
+atexit.register(_PACK_REGISTRY.close)
+
+
+def shared_pack_registry() -> SharedPackRegistry:
+    """This process's shared-pack registry (one per interpreter)."""
+    return _PACK_REGISTRY
 
 
 # ---------------------------------------------------------------------- #

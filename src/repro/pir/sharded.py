@@ -32,16 +32,37 @@ partitioned PIR; deployments pick ``S`` accordingly.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    cast,
+)
 
 from ..costmodel import DEFAULT_SPEC, SystemSpec
 from ..exceptions import PirError
 from ..storage import Database
 from .access_log import AccessTrace
-from .kernels import ServerKernel, oblivious_read_many, shared_kernel
+from .kernels import (
+    PackedDatabase,
+    ServerKernel,
+    SharedPackHandle,
+    oblivious_read_many,
+    resolve_kernel,
+    shared_kernel,
+    shared_kernel_key,
+    shared_pack_registry,
+)
 from .protocol import PirProtocol, validate_block_database
 from .scp import SecureCoprocessor, UsablePirSimulator
 from .xor_pir import TwoServerXorPir
+
+if TYPE_CHECKING:
+    from ..storage.pagefile import PageFile
 
 #: Supported shard-assignment strategies.
 STRATEGIES = ("round-robin", "range")
@@ -74,14 +95,14 @@ class ShardMap:
         self.num_blocks = num_blocks
         self.num_shards = num_shards
         self.strategy = strategy
+        # empty for round-robin (which never consults it)
+        self._range_starts: List[int] = []
         if strategy == "range":
             base, extra = divmod(num_blocks, num_shards)
             starts = [0]
             for shard in range(num_shards):
                 starts.append(starts[-1] + base + (1 if shard < extra else 0))
             self._range_starts = starts
-        else:
-            self._range_starts = None
 
     def shard_of(self, index: int) -> int:
         """The shard owning global block ``index``."""
@@ -229,7 +250,7 @@ class ShardedPir(PirProtocol):
             answers = self.shards[shard].retrieve_many([local for _, local in sub_batch])
             for (position, _), answer in zip(sub_batch, answers):
                 results[position] = answer
-        return results
+        return cast(List[bytes], results)
 
 
 # ---------------------------------------------------------------------- #
@@ -265,7 +286,7 @@ class ShardedPageStore:
         self.num_shards = num_shards
         self.strategy = strategy
         self.maps: Dict[str, ShardMap] = {}
-        self._files: Dict[str, object] = {}
+        self._files: Dict[str, "PageFile"] = {}
         for file_name in database.file_names():
             page_file = database.file(file_name)
             if page_file.num_pages == 0:
@@ -371,6 +392,49 @@ class ShardedPageStore:
             cache_key=("shard", shard_id, file_map.num_shards, self.strategy),
         )
 
+    def publish_shard_packs(
+        self, kernel: Optional[str] = None
+    ) -> Dict[Tuple[object, ...], SharedPackHandle]:
+        """Build every shard pack and publish it to the shared-pack registry.
+
+        Returns the picklable handles keyed exactly as a worker's
+        :meth:`shard_kernel` → :func:`~repro.pir.kernels.shared_kernel`
+        lookup files them, so a process worker that adopts this mapping
+        (:meth:`~repro.pir.kernels.SharedPackRegistry.adopt`) attaches the
+        one machine-wide pack instead of repacking its shards.  Empty when
+        the resolved kernel is not the packed one (the big-int oracle has no
+        shareable image).  The publisher owns the segments: whoever calls
+        this must eventually ``unpublish`` the returned keys (the engine and
+        cluster do so from their ``close()``).
+        """
+        if resolve_kernel(kernel) != "numpy":
+            return {}
+        registry = shared_pack_registry()
+        handles: Dict[Tuple[object, ...], SharedPackHandle] = {}
+        for file_name, file_map in sorted(self.maps.items()):
+            page_file = self._files[file_name]
+            for shard_id in range(file_map.num_shards):
+                pack = self.shard_kernel(shard_id, file_name, kernel="numpy")
+                if not isinstance(pack, PackedDatabase):  # pragma: no cover
+                    continue
+                page_numbers = [
+                    file_map.global_index(shard_id, local)
+                    for local in range(file_map.shard_sizes()[shard_id])
+                ]
+                key = shared_kernel_key(
+                    page_file,
+                    page_numbers,
+                    kernel="numpy",
+                    cache_key=(
+                        "shard",
+                        shard_id,
+                        file_map.num_shards,
+                        self.strategy,
+                    ),
+                )
+                handles[key] = registry.publish(key, pack)
+        return handles
+
     @property
     def resident_page_bytes(self) -> int:
         """Page bytes this view holds beyond the backing stores — always 0.
@@ -442,7 +506,10 @@ class PirShard:
         if self._log is not None:
             sink, shard_id = self._log, self.shard_id
             log = lambda subset: sink((file_name, shard_id, subset))
-        return oblivious_read_many(kernel, self._rng, local_pages, log=log)
+        rng = self._rng
+        if rng is None:  # pragma: no cover - XOR shards are always seeded
+            raise PirError("XOR serving requires a seeded subset RNG")
+        return oblivious_read_many(kernel, rng, local_pages, log=log)
 
 
 class ShardedPirSimulator(UsablePirSimulator):
@@ -532,7 +599,7 @@ class ShardedPirSimulator(UsablePirSimulator):
         """Pages served so far by each shard connection (serving balance)."""
         return [shard.pages_served for shard in self.shards]
 
-    def _read_page(self, page_file, page_number: int) -> bytes:
+    def _read_page(self, page_file: "PageFile", page_number: int) -> bytes:
         shard, local = self.shard_of_page(page_file.name, page_number)
         return self.shards[shard].read(page_file.name, local)
 
@@ -566,4 +633,4 @@ class ShardedPirSimulator(UsablePirSimulator):
                 results[position] = answer
         for page_number in page_numbers:
             self._charge(page_file, file_name, page_number, trace)
-        return results
+        return cast(List[bytes], results)

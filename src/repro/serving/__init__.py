@@ -14,7 +14,7 @@ process pool the query engine reuses across batches.
 """
 
 from .client import ConnectionPool, RemotePirShard, RemotePirSimulator, ShardConnection
-from .loadgen import LoadReport, run_loadgen
+from .loadgen import LoadReport, run_loadgen, run_loadgen_multiproc
 from .pool import SolvePool
 from .server import ShardCluster, ShardServer
 from .wire import (
@@ -40,4 +40,5 @@ __all__ = [
     "SolvePool",
     "WireError",
     "run_loadgen",
+    "run_loadgen_multiproc",
 ]

@@ -24,9 +24,10 @@ run through :func:`run_loadgen`.
 from __future__ import annotations
 
 import asyncio
+import multiprocessing
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from ..exceptions import PirError
 from ..pir.batch import random_subset_masks
@@ -65,14 +66,26 @@ class LoadReport:
     p50_ms: float = 0.0
     p99_ms: float = 0.0
     max_ms: float = 0.0
+    #: Client processes the load was generated from (1 = in-process).
+    client_procs: int = 1
     #: Per-shard server-side flush statistics, when the caller supplies them.
     shard_stats: List[dict] = field(default_factory=list)
+    #: Raw in-window latency samples in seconds (sorted); kept so
+    #: multi-process runs can merge children into honest aggregate
+    #: percentiles instead of averaging percentiles.
+    latencies_s: List[float] = field(default_factory=list, repr=False)
 
     def summary_lines(self) -> List[str]:
+        processes = (
+            f", {self.client_procs} client process(es)"
+            if self.client_procs > 1
+            else ""
+        )
         return [
             f"open-loop load: {self.offered_rate:g}/s offered for "
             f"{self.duration_s:g}s ({self.warmup_s:g}s warmup), "
-            f"{self.num_shards} shard(s), {self.connections} connection(s)",
+            f"{self.num_shards} shard(s), {self.connections} connection(s)"
+            f"{processes}",
             f"  arrivals={self.arrivals} completed={self.completed} "
             f"busy={self.busy} errors={self.errors} mismatches={self.mismatches}",
             f"  sustained {self.retrievals_per_s:,.0f} retrievals/s "
@@ -139,10 +152,118 @@ def run_loadgen(
     report.service_rate_per_s = (
         report.completed / completion_span if completion_span > 0 else 0.0
     )
+    report.latencies_s = latencies
     report.p50_ms = _percentile(latencies, 0.50) * 1000.0
     report.p99_ms = _percentile(latencies, 0.99) * 1000.0
     report.max_ms = latencies[-1] * 1000.0 if latencies else 0.0
     return report
+
+
+def _loadgen_child(connection: Any, kwargs: dict) -> None:
+    """One forked client process: run its share and ship the report back."""
+    try:
+        connection.send(run_loadgen(**kwargs))
+    except BaseException as exc:  # surfaced (and re-raised) in the parent
+        connection.send(exc)
+    finally:
+        connection.close()
+
+
+def run_loadgen_multiproc(
+    addresses: Sequence[Tuple[str, int]],
+    database: Database,
+    strategy: str = "round-robin",
+    file_name: Optional[str] = None,
+    rate: float = 1000.0,
+    duration_s: float = 2.0,
+    warmup_s: float = 0.5,
+    connections: int = 16,
+    seed: int = 17,
+    verify: bool = True,
+    client_procs: int = 1,
+) -> LoadReport:
+    """One open-loop burst generated from ``client_procs`` client processes.
+
+    A single client process tops out at what one GIL can schedule, so at
+    high offered rates the *generator* becomes the bottleneck and measured
+    throughput understates the servers.  This forks ``client_procs``
+    independent clients, each offering ``rate / client_procs`` on its own
+    seeded arrival schedule and connection pool, and merges their reports:
+    counts add, latency samples are pooled before the percentile cut (never
+    averaged percentiles), the aggregate service rate is the sum of the
+    children's.  ``client_procs=1`` is exactly :func:`run_loadgen`.
+    """
+    if client_procs < 1:
+        raise PirError(f"client_procs must be positive, got {client_procs}")
+    shared = dict(
+        addresses=[(host, int(port)) for host, port in addresses],
+        database=database,
+        strategy=strategy,
+        file_name=file_name,
+        duration_s=duration_s,
+        warmup_s=warmup_s,
+        verify=verify,
+    )
+    if client_procs == 1:
+        return run_loadgen(rate=rate, connections=connections, seed=seed, **shared)
+    # fork: children inherit the database (and its page stores) copy-on-write,
+    # so nothing has to be picklable; each child only opens TCP connections
+    context = multiprocessing.get_context("fork")
+    children = []
+    for index in range(client_procs):
+        parent_end, child_end = context.Pipe(duplex=False)
+        kwargs = dict(
+            shared,
+            rate=rate / client_procs,
+            connections=max(1, connections // client_procs),
+            seed=seed * 0x9E3779B1 + index,
+        )
+        process = context.Process(
+            target=_loadgen_child, args=(child_end, kwargs), daemon=True
+        )
+        process.start()
+        child_end.close()
+        children.append((process, parent_end))
+    reports: List[LoadReport] = []
+    failure: Optional[BaseException] = None
+    for process, parent_end in children:
+        try:
+            received = parent_end.recv()
+        except EOFError:
+            received = PirError("loadgen client process died without reporting")
+        process.join()
+        if isinstance(received, BaseException):
+            failure = failure or received
+        else:
+            reports.append(received)
+    if failure is not None:
+        raise failure
+    merged = LoadReport(
+        file_name=reports[0].file_name,
+        num_shards=reports[0].num_shards,
+        offered_rate=rate,
+        duration_s=duration_s,
+        warmup_s=warmup_s,
+        connections=sum(report.connections for report in reports),
+        verified=verify,
+        client_procs=client_procs,
+    )
+    for report in reports:
+        merged.arrivals += report.arrivals
+        merged.completed += report.completed
+        merged.measured += report.measured
+        merged.busy += report.busy
+        merged.errors += report.errors
+        merged.mismatches += report.mismatches
+        merged.service_rate_per_s += report.service_rate_per_s
+        merged.latencies_s.extend(report.latencies_s)
+    merged.latencies_s.sort()
+    window = duration_s - warmup_s
+    merged.retrievals_per_s = merged.measured / window if window > 0 else 0.0
+    merged.p50_ms = _percentile(merged.latencies_s, 0.50) * 1000.0
+    merged.p99_ms = _percentile(merged.latencies_s, 0.99) * 1000.0
+    merged.max_ms = merged.latencies_s[-1] * 1000.0 if merged.latencies_s else 0.0
+    return merged
 
 
 async def _drive(

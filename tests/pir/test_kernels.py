@@ -159,6 +159,11 @@ class TestPackedDatabase:
         (64, None),  # beyond any table: per-mask row-gather fallback
     ])
     def test_adaptive_group_width_stays_exact(self, monkeypatch, budget, expected_bits):
+        # this pins the *class default* budget path; an ambient env override
+        # (the CI fallback leg sets REPRO_PIR_MAX_TABLE_BYTES=1) would win
+        from repro.pir.kernels import ENV_MAX_TABLE_BYTES
+
+        monkeypatch.delenv(ENV_MAX_TABLE_BYTES, raising=False)
         monkeypatch.setattr(PackedDatabase, "MAX_TABLE_BYTES", budget)
         blocks = make_blocks(100, 16, seed=9)
         packed = PackedDatabase.from_blocks(blocks)
@@ -194,6 +199,103 @@ class TestPackedDatabase:
     def test_nbytes_accounts_for_tables(self):
         packed = PackedDatabase.from_blocks(make_blocks(16, 8))
         assert packed.nbytes >= packed._rows.nbytes > 0
+
+
+@requires_numpy
+class TestTiledFallbackGolden:
+    """Golden answers at and just past the group-table budget.
+
+    100 blocks of 16 bytes (2 words): the narrowest (2-bit) tables cost
+    exactly 3200 bytes.  A budget of 3200 keeps resident tables; 3199 tips
+    the pack into the fallback regime, where batches below
+    ``TILED_MIN_BATCH`` run the per-mask row gather and serving-sized
+    batches run the tiled GF(2) product.  Every strategy must produce the
+    same bytes for the same masks — the budget is a memory knob, never an
+    answer knob (invariant I2).
+    """
+
+    NUM_BLOCKS, BLOCK_SIZE = 100, 16
+    TWO_BIT_TABLE_BYTES = 3200
+
+    def _pack(self, budget):
+        blocks = make_blocks(self.NUM_BLOCKS, self.BLOCK_SIZE, seed=7)
+        return blocks, PackedDatabase.from_blocks(blocks, max_table_bytes=budget)
+
+    def test_budget_boundary_is_exact(self):
+        _, at_budget = self._pack(self.TWO_BIT_TABLE_BYTES)
+        _, past_budget = self._pack(self.TWO_BIT_TABLE_BYTES - 1)
+        assert at_budget._group_bits == 2 and at_budget._tables is not None
+        assert past_budget._group_bits is None and past_budget._tables is None
+
+    @pytest.mark.parametrize(
+        "batch",
+        [
+            1,
+            PackedDatabase.TILED_MIN_BATCH - 1,  # last row-gather batch
+            PackedDatabase.TILED_MIN_BATCH,  # first tiled batch
+            PackedDatabase.TILED_MIN_BATCH * 3,  # the coalesced serving regime
+        ],
+    )
+    def test_at_and_past_budget_answers_are_golden(self, batch):
+        blocks, at_budget = self._pack(self.TWO_BIT_TABLE_BYTES)
+        _, past_budget = self._pack(self.TWO_BIT_TABLE_BYTES - 1)
+        masks = random_masks(self.NUM_BLOCKS, batch, seed=batch)[:batch]
+        golden = BigIntKernel(blocks).answer_many(masks)
+        assert at_budget.answer_many(masks) == golden
+        assert past_budget.answer_many(masks) == golden
+
+    def test_tiled_and_gather_agree_on_every_batch(self):
+        import numpy as np
+
+        _, pack = self._pack(0)
+        for batch in (1, 2, 31, 32, 33, 96):
+            masks = random_masks(self.NUM_BLOCKS, batch, seed=batch)[:batch]
+            matrix = pack._mask_matrix(masks)
+            gather = pack._answer_rows_gather(
+                matrix, np.zeros((batch, pack.words), dtype=np.uint64)
+            )
+            tiled = pack._answer_rows_tiled(
+                matrix, np.zeros((batch, pack.words), dtype=np.uint64)
+            )
+            assert pack.rows_to_blocks(tiled) == pack.rows_to_blocks(gather)
+
+    def test_dispatch_crosses_at_tiled_min_batch(self, monkeypatch):
+        _, pack = self._pack(0)
+        calls = []
+        original_gather = PackedDatabase._answer_rows_gather
+        original_tiled = PackedDatabase._answer_rows_tiled
+        monkeypatch.setattr(
+            PackedDatabase,
+            "_answer_rows_gather",
+            lambda self, m, o: calls.append("gather") or original_gather(self, m, o),
+        )
+        monkeypatch.setattr(
+            PackedDatabase,
+            "_answer_rows_tiled",
+            lambda self, m, o: calls.append("tiled") or original_tiled(self, m, o),
+        )
+        small = random_masks(self.NUM_BLOCKS, pack.TILED_MIN_BATCH - 1, seed=1)
+        pack.answer_many(small[: pack.TILED_MIN_BATCH - 1])
+        large = random_masks(self.NUM_BLOCKS, pack.TILED_MIN_BATCH, seed=2)
+        pack.answer_many(large[: pack.TILED_MIN_BATCH])
+        assert calls == ["gather", "tiled"]
+
+    def test_environment_budget_forces_fallback(self, monkeypatch):
+        """The CI leg's knob: REPRO_PIR_MAX_TABLE_BYTES shrinks every pack."""
+        from repro.pir.kernels import ENV_MAX_TABLE_BYTES
+
+        monkeypatch.setenv(ENV_MAX_TABLE_BYTES, "1")
+        blocks, pack = self._pack(None)
+        assert pack._tables is None
+        masks = random_masks(self.NUM_BLOCKS, 40, seed=5)
+        assert pack.answer_many(masks) == BigIntKernel(blocks).answer_many(masks)
+
+    def test_bad_environment_budget_rejected(self, monkeypatch):
+        from repro.pir.kernels import ENV_MAX_TABLE_BYTES
+
+        monkeypatch.setenv(ENV_MAX_TABLE_BYTES, "lots")
+        with pytest.raises(PirError):
+            self._pack(None)
 
 
 class TestKernelFromPages:

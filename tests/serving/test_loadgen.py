@@ -1,0 +1,83 @@
+"""Open-loop load generator: single-process runs and forked client fleets.
+
+Short, low-rate runs against real loopback clusters — enough load to check
+the report's accounting (verified retrievals, pooled latency percentiles,
+multi-process aggregation) without turning the test suite into a benchmark.
+"""
+
+import pytest
+
+from repro.exceptions import PirError
+from repro.serving import ShardCluster, run_loadgen, run_loadgen_multiproc
+from repro.storage import Database
+
+
+def make_database(num_pages=24, page_size=64):
+    database = Database(page_size)
+    page_file = database.create_file("data")
+    for index in range(num_pages):
+        page_file.new_page().append(bytes([index & 0xFF]) * (page_size // 2))
+    return database
+
+
+@pytest.fixture
+def database():
+    return make_database()
+
+
+def run(addresses, database, **overrides):
+    kwargs = dict(
+        rate=300.0,
+        duration_s=0.6,
+        warmup_s=0.1,
+        connections=4,
+        seed=5,
+        verify=True,
+    )
+    kwargs.update(overrides)
+    return run_loadgen_multiproc(addresses, database, **kwargs)
+
+
+class TestRunLoadgen:
+    def test_report_accounts_for_every_arrival(self, database):
+        with ShardCluster(database, num_shards=2) as cluster:
+            report = run_loadgen(
+                cluster.addresses, database,
+                rate=300.0, duration_s=0.6, warmup_s=0.1, connections=4,
+                seed=5, verify=True,
+            )
+        assert report.errors == 0
+        assert report.mismatches == 0
+        assert report.verified
+        assert report.completed == report.arrivals > 0
+        assert report.client_procs == 1
+        assert report.latencies_s == sorted(report.latencies_s)
+        assert len(report.latencies_s) == report.measured
+        assert report.p50_ms <= report.p99_ms <= report.max_ms
+
+
+class TestRunLoadgenMultiproc:
+    def test_single_process_delegates(self, database):
+        with ShardCluster(database, num_shards=2) as cluster:
+            report = run(cluster.addresses, database, client_procs=1)
+        assert report.client_procs == 1
+        assert report.errors == 0
+
+    def test_forked_clients_aggregate_one_report(self, database):
+        with ShardCluster(database, num_shards=2) as cluster:
+            report = run(cluster.addresses, database, client_procs=2)
+        assert report.client_procs == 2
+        assert report.errors == 0
+        assert report.mismatches == 0
+        assert report.completed == report.arrivals > 0
+        # percentiles are cut from the pooled samples, never averaged
+        assert len(report.latencies_s) == report.measured
+        assert report.latencies_s == sorted(report.latencies_s)
+        assert report.p50_ms <= report.p99_ms <= report.max_ms
+        assert any(
+            "2 client process(es)" in line for line in report.summary_lines()
+        )
+
+    def test_bad_client_count_rejected(self, database):
+        with pytest.raises(PirError):
+            run_loadgen_multiproc([("127.0.0.1", 1)], database, client_procs=0)

@@ -272,3 +272,72 @@ class TestLifecycle:
             assert list(cluster.addresses) == first
         finally:
             cluster.stop()
+
+
+class TestAnswerThreads:
+    """Multicore answering: kernel sub-calls split flushes, never answers."""
+
+    def test_invalid_thread_count_rejected(self):
+        database = make_database()
+        store = ShardedPageStore(database, 1, "round-robin")
+        with pytest.raises(PirError, match="answer_threads"):
+            ShardServer(store, shard_id=0, answer_threads=0)
+
+    def test_large_flush_splits_into_kernel_subcalls(self):
+        from repro.serving.server import MIN_SPLIT_MASKS
+
+        database = make_database(num_pages=12)
+        store = ShardedPageStore(database, 1, "round-robin")
+        with ShardServer(store, shard_id=0, answer_threads=3) as server:
+            kernel = store.shard_kernel(0, "data", server.kernel)
+            rng = random.Random(7)
+            masks = [
+                rng.getrandbits(kernel.num_blocks) for _ in range(2 * MIN_SPLIT_MASKS)
+            ]
+            conn = ShardConnection(server.address)
+            answers = wire.decode_answer_response(
+                conn.request(wire.encode_answer_request("data", masks))
+            )
+            conn.close()
+            stats = server.stats()
+        # answer order is the request order even though chunks ran in parallel
+        assert answers == kernel.answer_many(masks)
+        assert stats["flushes"] == 1
+        assert stats["kernel_subcalls"] == 2  # 128 masks / 64-mask split floor
+
+    def test_small_flush_is_one_subcall(self):
+        database = make_database(num_pages=12)
+        store = ShardedPageStore(database, 1, "round-robin")
+        with ShardServer(store, shard_id=0, answer_threads=4) as server:
+            conn = ShardConnection(server.address)
+            wire.decode_answer_response(
+                conn.request(wire.encode_answer_request("data", [0b101, 0b11]))
+            )
+            conn.close()
+            stats = server.stats()
+        assert stats["flushes"] == 1
+        assert stats["kernel_subcalls"] == 1
+
+    def test_answers_bit_identical_across_thread_counts(self):
+        database = make_database(num_pages=14)
+        rng = random.Random(9)
+        masks = [rng.getrandbits(14) for _ in range(150)]
+        outcomes = {}
+        for answer_threads in (1, 4):
+            store = ShardedPageStore(database, 1, "round-robin")
+            with ShardServer(
+                store, shard_id=0, answer_threads=answer_threads
+            ) as server:
+                conn = ShardConnection(server.address)
+                outcomes[answer_threads] = wire.decode_answer_response(
+                    conn.request(wire.encode_answer_request("data", masks))
+                )
+                conn.close()
+        assert outcomes[1] == outcomes[4]
+
+    def test_cluster_passes_answer_threads_through(self):
+        database = make_database(num_pages=9)
+        with ShardCluster(database, num_shards=2, answer_threads=2) as cluster:
+            assert all(server.answer_threads == 2 for server in cluster.servers)
+            for stats in cluster.stats():
+                assert stats["kernel_subcalls"] == 0
